@@ -1,0 +1,49 @@
+# Developer entry points. Everything is plain `go` underneath; the
+# Makefile just names the common invocations.
+
+GO ?= go
+
+.PHONY: all build test test-short race vet fuzz bench experiments examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# Continuous fuzzing entry points (ctrl-C to stop).
+fuzz:
+	$(GO) test -fuzz FuzzLIDEquivalence -fuzztime 60s ./internal/lid
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the validation suite (EXPERIMENTS.md's source of truth).
+experiments:
+	$(GO) run ./cmd/experiments -run all -seed 1 -out experiments_full.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/filesharing
+	$(GO) run ./examples/interestcluster
+	$(GO) run ./examples/geooverlay
+	$(GO) run ./examples/churn
+	$(GO) run ./examples/hostile
+
+cover:
+	$(GO) test ./... -coverprofile=cover.out -covermode=count
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out

@@ -1,0 +1,90 @@
+// Command experiments regenerates the validation suite of DESIGN.md §3
+// / EXPERIMENTS.md: one experiment per theorem/lemma of the paper plus
+// the scaling studies. Each experiment prints one or more tables;
+// violations of a proven bound abort with a non-zero exit.
+//
+// Examples:
+//
+//	experiments -run all
+//	experiments -run E1,E3 -seed 7
+//	experiments -run all -quick -md -out results.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"overlaymatch/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", `comma-separated experiment IDs (e.g. "E1,E5") or "all"`)
+		seed    = flag.Uint64("seed", 1, "master seed for all workloads")
+		quick   = flag.Bool("quick", false, "reduced sizes (seconds instead of minutes)")
+		md      = flag.Bool("md", false, "emit Markdown instead of aligned text")
+		out     = flag.String("out", "", "write to file instead of stdout")
+		csv     = flag.String("csv", "", "also write each table as CSV into this directory")
+		workers = flag.Int("workers", 0, "parallel workers for oracle sweeps (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
+	var selected []experiments.Experiment
+	if *run == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.Lookup(id)
+			if !ok {
+				fail("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	start := time.Now()
+	for _, e := range selected {
+		t0 := time.Now()
+		if err := experiments.RunAndRender(e, cfg, w, *md); err != nil {
+			fail("%v", err)
+		}
+		if *csv != "" {
+			files, err := experiments.RunToCSV(e, cfg, *csv)
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: %s csv: %s\n", e.ID, strings.Join(files, " "))
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %s done in %v\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "experiments: suite done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

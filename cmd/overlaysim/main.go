@@ -1,0 +1,275 @@
+// Command overlaysim runs one overlay-matching simulation end to end
+// and prints a human-readable report: the topology, the preference
+// metric, whether the preference system is acyclic, the distributed
+// run's message/round statistics, and the satisfaction the peers
+// achieved (with the Theorem-3 guarantee for reference).
+//
+// Examples:
+//
+//	overlaysim -topology gnp -n 200 -p 0.05 -b 3 -metric random
+//	overlaysim -topology geometric -n 500 -radius 0.08 -metric distance -runtime goroutine
+//	overlaysim -topology ba -n 300 -m 4 -b 2 -metric transactions -jitter 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"overlaymatch/internal/gen"
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/lid"
+	"overlaymatch/internal/matching"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/rng"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+	"overlaymatch/internal/stats"
+	"overlaymatch/internal/trace"
+)
+
+func main() {
+	var (
+		topology = flag.String("topology", "gnp", "gnp | geometric | ba | ws | ring | grid | complete | tree")
+		n        = flag.Int("n", 100, "number of peers")
+		p        = flag.Float64("p", 0.05, "edge probability (gnp)")
+		radius   = flag.Float64("radius", 0.15, "connection radius (geometric)")
+		mAttach  = flag.Int("m", 3, "attachments per node (ba)")
+		k        = flag.Int("k", 6, "lattice degree (ws, even)")
+		beta     = flag.Float64("beta", 0.2, "rewiring probability (ws)")
+		rows     = flag.Int("rows", 10, "rows (grid)")
+		quota    = flag.Int("b", 3, "connection quota per peer")
+		metric   = flag.String("metric", "random", "random | symmetric | distance | resource | transactions")
+		seed     = flag.Uint64("seed", 1, "seed for topology, preferences and latencies")
+		runtime_ = flag.String("runtime", "event", "event | goroutine | centralized")
+		jitter   = flag.Float64("jitter", 3, "latency jitter scale (event runtime)")
+		workload = flag.String("workload", "", "load a frozen workload JSON (see graphgen -format workload) instead of generating")
+		dotOut   = flag.String("dot", "", "write the final overlay as Graphviz DOT to this file")
+		traceOut = flag.String("tracelog", "", "write the message-sequence log to this file (event runtime)")
+		verbose  = flag.Bool("v", false, "print per-peer connections")
+	)
+	flag.Parse()
+
+	opts := reportOpts{seed: *seed, runtime: *runtime_, jitter: *jitter,
+		verbose: *verbose, dotPath: *dotOut, tracePath: *traceOut}
+
+	if *workload != "" {
+		runWorkloadFile(*workload, opts)
+		return
+	}
+
+	src := rng.New(*seed)
+	var g *graph.Graph
+	var coords [][2]float64
+	switch *topology {
+	case "gnp":
+		g = gen.GNP(src.Split(), *n, *p)
+	case "geometric":
+		g, coords = gen.Geometric(src.Split(), *n, *radius)
+	case "ba":
+		g = gen.BarabasiAlbert(src.Split(), *n, *mAttach)
+	case "ws":
+		g = gen.WattsStrogatz(src.Split(), *n, *k, *beta)
+	case "ring":
+		g = gen.Ring(*n)
+	case "grid":
+		cols := (*n + *rows - 1) / *rows
+		g = gen.Grid(*rows, cols)
+	case "complete":
+		g = gen.Complete(*n)
+	case "tree":
+		g = gen.RandomTree(src.Split(), *n)
+	default:
+		fail("unknown topology %q", *topology)
+	}
+
+	var m pref.Metric
+	switch *metric {
+	case "random":
+		m = pref.NewRandomMetric(src.Split())
+	case "symmetric":
+		m = pref.NewSymmetricRandomMetric(src.Split())
+	case "distance":
+		if coords == nil {
+			coords = make([][2]float64, g.NumNodes())
+			for i := range coords {
+				coords[i] = [2]float64{src.Float64(), src.Float64()}
+			}
+		}
+		m = pref.DistanceMetric{Coords: coords}
+	case "resource":
+		capacity := make([]float64, g.NumNodes())
+		for i := range capacity {
+			capacity[i] = src.Float64()
+		}
+		m = pref.ResourceMetric{Capacity: capacity}
+	case "transactions":
+		hist := make([][]float64, g.NumNodes())
+		for i := range hist {
+			hist[i] = make([]float64, g.NumNodes())
+			for _, j := range g.Neighbors(i) {
+				hist[i][j] = src.NormFloat64()
+			}
+		}
+		m = pref.TransactionMetric{History: hist}
+	default:
+		fail("unknown metric %q", *metric)
+	}
+
+	sys, err := pref.Build(g, m, pref.UniformQuota(*quota))
+	if err != nil {
+		fail("building preferences: %v", err)
+	}
+	fmt.Printf("overlay: %s, n=%d m=%d, avg degree %.2f (min %d, max %d)\n",
+		*topology, g.NumNodes(), g.NumEdges(), g.AvgDegree(), g.MinDegree(), g.MaxDegree())
+	fmt.Printf("preferences: metric=%s, quota b=%d\n", *metric, *quota)
+	runAndReport(sys, opts)
+}
+
+// reportOpts carries the run/report configuration.
+type reportOpts struct {
+	seed      uint64
+	runtime   string
+	jitter    float64
+	verbose   bool
+	dotPath   string
+	tracePath string
+}
+
+// runWorkloadFile loads a frozen workload and simulates it.
+func runWorkloadFile(path string, opts reportOpts) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	sys, err := pref.ReadJSON(f)
+	if err != nil {
+		fail("%v", err)
+	}
+	g := sys.Graph()
+	fmt.Printf("workload %s: n=%d m=%d, avg degree %.2f\n",
+		path, g.NumNodes(), g.NumEdges(), g.AvgDegree())
+	runAndReport(sys, opts)
+}
+
+// runAndReport executes the selected runtime and prints the report.
+func runAndReport(sys *pref.System, opts reportOpts) {
+	seed, runtime_, jitter, verbose := opts.seed, opts.runtime, opts.jitter, opts.verbose
+	g := sys.Graph()
+	tbl := satisfaction.NewTable(sys)
+	var collector trace.Collector
+	var traceFn func(simnet.TraceEntry)
+	if opts.tracePath != "" {
+		traceFn = collector.Record
+	}
+	fmt.Printf("acyclic=%v; guarantee: LID achieves >= %.4f of optimal total satisfaction (Theorem 3)\n\n",
+		pref.IsAcyclic(sys), satisfaction.Theorem3Bound(maxInt(sys.MaxQuota(), 1)))
+
+	var result *matching.Matching
+	start := time.Now()
+	switch runtime_ {
+	case "event":
+		res, err := lid.RunEvent(sys, tbl, simnet.Options{
+			Seed:    seed,
+			Latency: latency(jitter),
+			Trace:   traceFn,
+		})
+		if err != nil {
+			fail("run: %v", err)
+		}
+		result = res.Matching
+		fmt.Printf("distributed run (event simulator, jitter %.1f): %v\n", jitter, time.Since(start))
+		fmt.Printf("  messages: %d total (%d PROP, %d REJ), %.2f per peer, max %d\n",
+			res.Stats.TotalSent(), res.PropMessages, res.RejMessages,
+			float64(res.Stats.TotalSent())/float64(g.NumNodes()), res.Stats.MaxSentByNode())
+		fmt.Printf("  virtual time to quiescence: %.2f\n", res.Stats.FinalTime)
+	case "goroutine":
+		res, err := lid.RunGoroutines(sys, tbl, 2*time.Minute)
+		if err != nil {
+			fail("run: %v", err)
+		}
+		result = res.Matching
+		fmt.Printf("distributed run (goroutines): %v\n", time.Since(start))
+		fmt.Printf("  messages: %d total (%d PROP, %d REJ)\n",
+			res.Stats.TotalSent(), res.PropMessages, res.RejMessages)
+	case "centralized":
+		result = matching.LIC(sys, tbl)
+		fmt.Printf("centralized run (LIC scan): %v\n", time.Since(start))
+	default:
+		fail("unknown runtime %q", runtime_)
+	}
+
+	per := result.PerNodeSatisfaction(sys)
+	sum := stats.Summarize(per)
+	fmt.Printf("\nmatching: %d connections (quota fill %.1f%%), total weight %.4f\n",
+		result.Size(), 100*fill(sys, result), result.Weight(sys))
+	fmt.Printf("satisfaction: total %.4f, mean %.4f, min %.4f, median %.4f, fairness %.4f\n",
+		result.TotalSatisfaction(sys), sum.Mean, sum.Min, sum.Median, stats.JainFairness(per))
+
+	if verbose {
+		fmt.Println("\nper-peer connections:")
+		for i := 0; i < g.NumNodes(); i++ {
+			fmt.Printf("  %4d (b=%d, S=%.3f): %v\n", i, sys.Quota(i), per[i], result.Connections(i))
+		}
+	}
+
+	if opts.dotPath != "" {
+		writeFileWith(opts.dotPath, func(w io.Writer) error {
+			return trace.WriteDOT(w, sys, result)
+		})
+		fmt.Printf("wrote Graphviz overlay to %s\n", opts.dotPath)
+	}
+	if opts.tracePath != "" {
+		if runtime_ != "event" {
+			fail("-tracelog requires -runtime event")
+		}
+		writeFileWith(opts.tracePath, collector.WriteLog)
+		fmt.Printf("wrote message-sequence log (%d deliveries) to %s\n", collector.Len(), opts.tracePath)
+	}
+}
+
+// writeFileWith creates path and streams content through fn.
+func writeFileWith(path string, fn func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		fail("%v", err)
+	}
+}
+
+func latency(jitter float64) simnet.LatencyFunc {
+	if jitter <= 0 {
+		return simnet.UnitLatency
+	}
+	return simnet.ExponentialLatency(jitter)
+}
+
+func fill(s *pref.System, m *matching.Matching) float64 {
+	var used, want int
+	for i := 0; i < s.Graph().NumNodes(); i++ {
+		used += m.DegreeOf(i)
+		want += s.Quota(i)
+	}
+	if want == 0 {
+		return 1
+	}
+	return float64(used) / float64(want)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "overlaysim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"overlaymatch/internal/gen"
+	"overlaymatch/internal/matching"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/rng"
+)
+
+func testSystem(t *testing.T) *pref.System {
+	t.Helper()
+	src := rng.New(5)
+	g := gen.GNP(src, 12, 0.4)
+	s, err := pref.Build(g, pref.NewRandomMetric(src.Split()), pref.UniformQuota(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLatencyHelper(t *testing.T) {
+	if latency(0) == nil || latency(-1) == nil || latency(2) == nil {
+		t.Fatal("latency returned nil")
+	}
+	if got := latency(0)(0, 1, nil); got != 1 {
+		t.Fatalf("zero-jitter latency = %v, want unit", got)
+	}
+}
+
+func TestFillHelper(t *testing.T) {
+	s := testSystem(t)
+	if f := fill(s, matching.New(s.Graph().NumNodes())); f != 0 {
+		t.Fatalf("empty fill = %v", f)
+	}
+}
+
+func TestMaxInt(t *testing.T) {
+	if maxInt(2, 5) != 5 || maxInt(5, 2) != 5 || maxInt(-1, -2) != -1 {
+		t.Fatal("maxInt wrong")
+	}
+}
+
+func TestRunAndReportAllRuntimes(t *testing.T) {
+	s := testSystem(t)
+	for _, rt := range []string{"event", "goroutine", "centralized"} {
+		runAndReport(s, reportOpts{seed: 1, runtime: rt, jitter: 2})
+	}
+}
+
+func TestRunAndReportArtifacts(t *testing.T) {
+	s := testSystem(t)
+	dir := t.TempDir()
+	dot := filepath.Join(dir, "overlay.dot")
+	tl := filepath.Join(dir, "trace.log")
+	runAndReport(s, reportOpts{seed: 2, runtime: "event", jitter: 1,
+		verbose: true, dotPath: dot, tracePath: tl})
+	dotData, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(dotData, []byte("graph overlay {")) {
+		t.Fatal("dot output malformed")
+	}
+	tlData, err := os.ReadFile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(tlData, []byte("PROP")) {
+		t.Fatal("trace log missing PROP lines")
+	}
+}
+
+func TestRunWorkloadFile(t *testing.T) {
+	s := testSystem(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wl.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pref.WriteJSON(f, s); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	runWorkloadFile(path, reportOpts{seed: 3, runtime: "centralized"})
+}

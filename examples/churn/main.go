@@ -1,0 +1,75 @@
+// Churn: the paper's §7 future-work scenario — peers joining and
+// leaving a live overlay. This example exercises the repository's
+// dynamic extension (internal/dynamic): the overlay starts from the
+// LIC matching, then absorbs a stream of leave/join events, repairing
+// locally after each one, and reports how closely the repaired overlay
+// tracks a from-scratch recomputation under both repair policies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"overlaymatch/internal/dynamic"
+	"overlaymatch/internal/gen"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/rng"
+)
+
+const (
+	numPeers = 100
+	quota    = 3
+	events   = 60
+)
+
+func main() {
+	src := rng.New(17)
+	g := gen.GNP(src, numPeers, 10.0/float64(numPeers-1))
+	sys, err := pref.Build(g, pref.NewRandomMetric(src.Split()), pref.UniformQuota(quota))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("universe: %d peers, %d potential links, quota %d, %d churn events\n\n",
+		numPeers, g.NumEdges(), quota, events)
+
+	for _, pol := range []struct {
+		name   string
+		policy dynamic.Policy
+	}{
+		{"completion-only repair", dynamic.CompleteOnly},
+		{"preemptive repair", dynamic.PreemptLighter},
+	} {
+		o := dynamic.NewOverlay(sys, pol.policy)
+		recs, err := dynamic.RunChurn(o, dynamic.ChurnOptions{
+			Events: events, Seed: 4, LeaveProb: 0.5, MinAlive: numPeers / 2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := o.Validate(); err != nil {
+			log.Fatal(err)
+		}
+
+		var examined, added, removed int
+		var qualSum, qualMin float64 = 0, 2
+		for _, r := range recs {
+			examined += r.Stats.Examined
+			added += r.Stats.Added
+			removed += r.Stats.Removed
+			qualSum += r.Quality
+			if r.Quality < qualMin {
+				qualMin = r.Quality
+			}
+		}
+		n := float64(len(recs))
+		fmt.Printf("%s:\n", pol.name)
+		fmt.Printf("  per event: %.1f edges examined, %.2f added, %.2f removed\n",
+			float64(examined)/n, float64(added)/n, float64(removed)/n)
+		fmt.Printf("  quality vs fresh recomputation: mean %.4f, min %.4f\n",
+			qualSum/n, qualMin)
+		fmt.Printf("  final: %d alive peers, %d live connections, live satisfaction %.2f\n\n",
+			o.NumAlive(), o.Matching().Size(), o.LiveSatisfaction())
+	}
+	fmt.Println("preemptive repair buys near-perfect quality for a modest extra repair cost.")
+}

@@ -1,0 +1,109 @@
+// Interestcluster: the "interest heterogeneity" scenario from the
+// paper's conclusion — peers with different interests collaborating in
+// one overlay. Peers belong to latent topic communities and score
+// neighbors by cosine similarity of noisy interest vectors. The demo
+// measures how strongly the matched overlay aligns with the hidden
+// communities compared to the random potential links, i.e. whether
+// preference-aware matching recovers the clustering.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"overlaymatch"
+)
+
+const (
+	numPeers  = 150
+	numTopics = 5
+	quota     = 3
+	noise     = 0.35
+)
+
+func main() {
+	rnd := rand.New(rand.NewSource(11))
+
+	// Hidden communities and noisy interest vectors.
+	community := make([]int, numPeers)
+	interests := make([][]float64, numPeers)
+	for i := range interests {
+		community[i] = i % numTopics
+		v := make([]float64, numTopics)
+		for t := range v {
+			v[t] = noise * rnd.Float64()
+		}
+		v[community[i]] = 1
+		interests[i] = v
+	}
+
+	cosine := func(a, b []float64) float64 {
+		var dot, na, nb float64
+		for k := range a {
+			dot += a[k] * b[k]
+			na += a[k] * a[k]
+			nb += b[k] * b[k]
+		}
+		if na == 0 || nb == 0 {
+			return 0
+		}
+		return dot / math.Sqrt(na*nb)
+	}
+
+	// A small-world substrate of potential connections.
+	edges := overlaymatch.SmallWorldEdges(23, numPeers, 10, 0.5)
+
+	net, err := overlaymatch.Build(overlaymatch.Spec{
+		NumNodes: numPeers,
+		Edges:    edges,
+		Quota:    func(i int) int { return quota },
+		Metric:   func(i, j int) float64 { return cosine(interests[i], interests[j]) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: how community-aligned are the *potential* links?
+	same, total := 0, 0
+	for _, e := range edges {
+		total++
+		if community[e.U] == community[e.V] {
+			same++
+		}
+	}
+	baseline := float64(same) / float64(total)
+
+	result, err := net.RunDistributed(overlaymatch.RunOptions{Seed: 5, LatencyJitter: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sameM, totalM := 0, 0
+	for _, e := range result.Edges() {
+		totalM++
+		if community[e.U] == community[e.V] {
+			sameM++
+		}
+	}
+	matched := float64(sameM) / float64(totalM)
+
+	fmt.Printf("peers: %d in %d hidden topic communities, substrate: %d links\n",
+		numPeers, numTopics, total)
+	fmt.Printf("substrate community alignment: %.1f%% of links intra-community\n", 100*baseline)
+	fmt.Printf("matched overlay:               %.1f%% of %d connections intra-community\n",
+		100*matched, totalM)
+	fmt.Printf("clustering lift: %.2fx\n\n", matched/baseline)
+
+	var totalSat float64
+	for i := 0; i < numPeers; i++ {
+		totalSat += result.Satisfaction(i)
+	}
+	fmt.Printf("mean satisfaction %.3f with %d messages total\n",
+		totalSat/numPeers, result.PropMessages+result.RejMessages)
+	if matched <= baseline {
+		log.Fatal("expected the preference-aware overlay to beat the substrate alignment")
+	}
+	fmt.Println("preference-aware matching recovered the latent communities.")
+}

@@ -1,0 +1,52 @@
+package overlaymatch
+
+import (
+	"overlaymatch/internal/gen"
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/rng"
+)
+
+// Convenience topology generators for the public API: each returns an
+// edge list ready for Spec.Edges. All are deterministic in the seed.
+
+func edgesOf(g *graph.Graph) []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		out = append(out, Edge{U: e.U, V: e.V})
+	}
+	return out
+}
+
+// RandomEdges returns an Erdős–Rényi G(n, p) edge list.
+func RandomEdges(seed uint64, n int, p float64) []Edge {
+	return edgesOf(gen.GNP(rng.New(seed), n, p))
+}
+
+// GeometricEdges places n peers uniformly in the unit square and
+// connects pairs within the radius, returning the edges and the
+// coordinates (useful with a distance Metric).
+func GeometricEdges(seed uint64, n int, radius float64) ([]Edge, [][2]float64) {
+	g, pts := gen.Geometric(rng.New(seed), n, radius)
+	return edgesOf(g), pts
+}
+
+// ScaleFreeEdges returns a Barabási–Albert preferential-attachment
+// edge list where each arriving peer links to m existing peers.
+func ScaleFreeEdges(seed uint64, n, m int) []Edge {
+	return edgesOf(gen.BarabasiAlbert(rng.New(seed), n, m))
+}
+
+// SmallWorldEdges returns a Watts–Strogatz edge list (ring lattice of
+// even degree k, rewired with probability beta).
+func SmallWorldEdges(seed uint64, n, k int, beta float64) []Edge {
+	return edgesOf(gen.WattsStrogatz(rng.New(seed), n, k, beta))
+}
+
+// RingEdges returns the cycle on n peers.
+func RingEdges(n int) []Edge { return edgesOf(gen.Ring(n)) }
+
+// CompleteEdges returns all pairs among n peers.
+func CompleteEdges(n int) []Edge { return edgesOf(gen.Complete(n)) }
+
+// GridEdges returns the rows×cols grid; peer (r,c) has index r*cols+c.
+func GridEdges(rows, cols int) []Edge { return edgesOf(gen.Grid(rows, cols)) }

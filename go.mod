@@ -1,0 +1,3 @@
+module overlaymatch
+
+go 1.22

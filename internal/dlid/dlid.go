@@ -1,0 +1,426 @@
+// Package dlid answers the paper's central future-work question (§7):
+// "Can the same greedy strategy employed by our algorithm tackle
+// [joins/leaves of peers]? We believe so." It implements a fully
+// distributed maintenance protocol that keeps an overlay matching
+// alive under churn, using the same ingredients as LID — private
+// preferences turned into symmetric weights, proposals in weight
+// order, only neighbor-to-neighbor messages.
+//
+// Operation. The overlay starts from the LID/LIC matching. Afterwards
+// each peer runs the maintenance state machine and reacts to events:
+//
+//   - LEAVE: the departing peer sends BYE to every alive graph
+//     neighbor and goes silent. Receivers drop the connection if one
+//     existed, mark the peer dead, and — having gained capacity —
+//     open a new repair epoch: clear their declined-memory and propose
+//     (PROP) to their best alive, unconnected, undeclined neighbors,
+//     one proposal per free slot.
+//   - JOIN: the (re)joining peer resets its state and sends HELLO to
+//     every graph neighbor. Alive receivers mark it alive again,
+//     answer HELLO-ACK (so the joiner learns its live neighborhood)
+//     and, if they have free capacity, may propose to it; the joiner
+//     proposes from its own side as ACKs arrive.
+//   - PROP is answered immediately and explicitly: ACCEPT if a slot is
+//     free or reserved for a crossing proposal to the same peer (the
+//     connection forms on both sides; stale answers are idempotent),
+//     DECLINE otherwise. A DECLINE advances the proposer to its next
+//     candidate; a declined peer is remembered as a *waiter*, and a
+//     slot freed by a failed reservation is offered back to waiters —
+//     without this, two mutually-declined peers can both end up free,
+//     a maximality hole the churn property test caught. When
+//     candidates run out the peer idles until some event grants it a
+//     new epoch.
+//
+// Properties (enforced by tests): the system quiesces after every
+// finite event schedule; at quiescence the live matching is feasible,
+// symmetric, and maximal on the live subgraph (no unmatched live edge
+// with free quota at both ends); and all of it degrades gracefully —
+// repair quality relative to a fresh LIC recomputation is measured by
+// experiment E14. Unlike LID proper, maintenance repair is greedy
+// *completion*: it does not preempt existing connections, trading
+// optimality for minimal disruption (the centralized analogue is
+// dynamic.CompleteOnly, its quality yardstick).
+//
+// The protocol runs on the deterministic event Runner with Quiesce
+// mode and injected Schedule commands.
+package dlid
+
+import (
+	"fmt"
+
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/matching"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+)
+
+// Command messages injected by the environment (via Runner.Schedule).
+type (
+	// CmdLeave makes the receiving peer leave the overlay.
+	CmdLeave struct{}
+	// CmdJoin makes the receiving (dead) peer rejoin.
+	CmdJoin struct{}
+)
+
+// Wire messages.
+type wireKind uint8
+
+const (
+	kBye wireKind = iota
+	kHello
+	kHelloAck
+	kProp
+	kAccept
+	kDecline
+)
+
+// Msg is the maintenance wire message.
+type Msg struct {
+	K wireKind
+}
+
+// Kind implements simnet.Kinder.
+func (m Msg) Kind() string {
+	switch m.K {
+	case kBye:
+		return "BYE"
+	case kHello:
+		return "HELLO"
+	case kHelloAck:
+		return "HELLO-ACK"
+	case kProp:
+		return "PROP"
+	case kAccept:
+		return "ACCEPT"
+	case kDecline:
+		return "DECLINE"
+	}
+	return fmt.Sprintf("dlid(%d)", m.K)
+}
+
+// peer-local view of one neighbor.
+type neighborState struct {
+	alive     bool
+	connected bool
+	pending   bool // our PROP outstanding
+	declined  bool // declined us in the current epoch
+	waiting   bool // we declined them; retry when a reservation frees
+}
+
+// Node is the per-peer maintenance state machine.
+type Node struct {
+	id    graph.NodeID
+	quota int
+	order []graph.NodeID // weight list (descending)
+	state map[graph.NodeID]*neighborState
+	alive bool
+
+	// Counters for the experiments.
+	Proposals int
+	Accepts   int
+	Declines  int
+}
+
+// NewNode builds the maintenance node for id, starting from the given
+// initial connections (typically the LID outcome).
+func NewNode(s *pref.System, tbl *satisfaction.Table, id graph.NodeID, initial []graph.NodeID) *Node {
+	order := tbl.SortedNeighbors(s, id)
+	st := make(map[graph.NodeID]*neighborState, len(order))
+	for _, nb := range order {
+		st[nb] = &neighborState{alive: true}
+	}
+	n := &Node{
+		id:    id,
+		quota: s.Quota(id),
+		order: order,
+		state: st,
+		alive: true,
+	}
+	for _, c := range initial {
+		ns, ok := st[c]
+		if !ok {
+			panic(fmt.Sprintf("dlid: initial connection %d is not a neighbor of %d", c, id))
+		}
+		ns.connected = true
+	}
+	return n
+}
+
+// NewNodes builds all maintenance nodes seeded with matching m.
+func NewNodes(s *pref.System, tbl *satisfaction.Table, m *matching.Matching) []*Node {
+	nodes := make([]*Node, s.Graph().NumNodes())
+	for id := range nodes {
+		nodes[id] = NewNode(s, tbl, id, m.Connections(id))
+	}
+	return nodes
+}
+
+// Handlers adapts nodes for the runtime.
+func Handlers(nodes []*Node) []simnet.Handler {
+	hs := make([]simnet.Handler, len(nodes))
+	for i, n := range nodes {
+		hs[i] = n
+	}
+	return hs
+}
+
+// Init implements simnet.Handler. The initial matching is assumed
+// stable (it is the LID outcome); nothing to do.
+func (n *Node) Init(ctx simnet.Context) { ctx.Halt() }
+
+// connectionsHeld counts current connections.
+func (n *Node) connectionsHeld() int {
+	c := 0
+	for _, ns := range n.state {
+		if ns.connected {
+			c++
+		}
+	}
+	return c
+}
+
+// pendingOut counts outstanding proposals.
+func (n *Node) pendingOut() int {
+	c := 0
+	for _, ns := range n.state {
+		if ns.pending {
+			c++
+		}
+	}
+	return c
+}
+
+// freeSlots returns unreserved quota capacity.
+func (n *Node) freeSlots() int {
+	return n.quota - n.connectionsHeld() - n.pendingOut()
+}
+
+// HandleMessage implements simnet.Handler.
+func (n *Node) HandleMessage(ctx simnet.Context, from int, msg simnet.Message) {
+	switch msg.(type) {
+	case CmdLeave:
+		n.leave(ctx)
+		return
+	case CmdJoin:
+		n.join(ctx)
+		return
+	}
+	if !n.alive {
+		return // the dead ignore everything
+	}
+	m, ok := msg.(Msg)
+	if !ok {
+		panic(fmt.Sprintf("dlid: node %d received %T", n.id, msg))
+	}
+	ns, known := n.state[from]
+	if !known {
+		panic(fmt.Sprintf("dlid: node %d received message from non-neighbor %d", n.id, from))
+	}
+	switch m.K {
+	case kBye:
+		n.onBye(ctx, from, ns)
+	case kHello:
+		n.onHello(ctx, from, ns)
+	case kHelloAck:
+		n.onHelloAck(ctx, from, ns)
+	case kProp:
+		n.onProp(ctx, from, ns)
+	case kAccept:
+		n.onAccept(ctx, from, ns)
+	case kDecline:
+		n.onDecline(ctx, from, ns)
+	}
+}
+
+// leave processes a CmdLeave.
+func (n *Node) leave(ctx simnet.Context) {
+	if !n.alive {
+		panic(fmt.Sprintf("dlid: CmdLeave to dead node %d", n.id))
+	}
+	n.alive = false
+	for _, nb := range n.order { // weight-list order: deterministic
+		ns := n.state[nb]
+		if ns.alive {
+			ctx.Send(nb, Msg{K: kBye})
+		}
+		// Reset the local view; it is rebuilt on rejoin.
+		ns.connected = false
+		ns.pending = false
+		ns.declined = false
+		ns.waiting = false
+	}
+}
+
+// join processes a CmdJoin.
+func (n *Node) join(ctx simnet.Context) {
+	if n.alive {
+		panic(fmt.Sprintf("dlid: CmdJoin to alive node %d", n.id))
+	}
+	n.alive = true
+	for _, nb := range n.order { // weight-list order: deterministic
+		ns := n.state[nb]
+		// Optimistically greet everyone; dead neighbors ignore it. The
+		// alive view is rebuilt from HELLO-ACKs.
+		ns.alive = false
+		ns.connected = false
+		ns.pending = false
+		ns.declined = false
+		ns.waiting = false
+		ctx.Send(nb, Msg{K: kHello})
+	}
+}
+
+// onBye: the neighbor left.
+func (n *Node) onBye(ctx simnet.Context, from graph.NodeID, ns *neighborState) {
+	freed := ns.connected
+	hadPending := ns.pending
+	ns.alive = false
+	ns.connected = false
+	ns.pending = false
+	ns.declined = false
+	ns.waiting = false
+	if freed {
+		// Capacity gained: new repair epoch.
+		n.newEpoch(ctx)
+		return
+	}
+	if hadPending {
+		// Our reservation evaporated; the freed slot must also serve
+		// peers we declined while it was reserved.
+		n.proposeMore(ctx)
+	}
+}
+
+// onHello: the neighbor (re)joined.
+func (n *Node) onHello(ctx simnet.Context, from graph.NodeID, ns *neighborState) {
+	ns.alive = true
+	ns.connected = false
+	ns.pending = false
+	ns.declined = false
+	ns.waiting = false
+	ctx.Send(from, Msg{K: kHelloAck})
+	// A fresh candidate appeared; try to use spare capacity on it.
+	n.proposeMore(ctx)
+}
+
+// onHelloAck: our HELLO was answered; the sender is alive.
+func (n *Node) onHelloAck(ctx simnet.Context, from graph.NodeID, ns *neighborState) {
+	ns.alive = true
+	n.proposeMore(ctx)
+}
+
+// onProp: answer immediately and explicitly. There is deliberately no
+// silent crossing-lock (unlike static LID): under churn a peer's
+// pending flag can be stale — its proposal may already have been
+// declined by a message still in flight — so the only safe rule is
+// that every connection is confirmed by an explicit ACCEPT in at
+// least one direction, and ACCEPTs for already-connected pairs are
+// idempotent.
+func (n *Node) onProp(ctx simnet.Context, from graph.NodeID, ns *neighborState) {
+	ns.alive = true
+	if ns.connected {
+		// Duplicate/stale proposal for an existing connection; confirm.
+		ctx.Send(from, Msg{K: kAccept})
+		return
+	}
+	if ns.pending {
+		// Crossing proposals: accept, consuming the slot we reserved
+		// for our own proposal to the same peer. Whatever answer our
+		// own proposal gets (their symmetric accept, or a stale
+		// decline) is idempotent against the connected state.
+		ns.pending = false
+		ns.connected = true
+		n.Accepts++
+		ctx.Send(from, Msg{K: kAccept})
+		return
+	}
+	if n.quota-n.connectionsHeld()-n.pendingOut() > 0 {
+		ns.connected = true
+		n.Accepts++
+		ctx.Send(from, Msg{K: kAccept})
+		return
+	}
+	n.Declines++
+	// Remember the asker: if a reservation of ours later falls
+	// through, the freed slot must be offered back (otherwise two
+	// mutually-declined peers can both end up free — a maximality
+	// hole).
+	ns.waiting = true
+	ctx.Send(from, Msg{K: kDecline})
+}
+
+// onAccept: our proposal succeeded.
+func (n *Node) onAccept(ctx simnet.Context, from graph.NodeID, ns *neighborState) {
+	if ns.connected {
+		return // already established by a crossing accept
+	}
+	if !ns.pending {
+		// Stale ACCEPT (e.g. confirmation of an old state); ignore.
+		return
+	}
+	ns.pending = false
+	ns.connected = true
+}
+
+// onDecline: advance to the next candidate.
+func (n *Node) onDecline(ctx simnet.Context, from graph.NodeID, ns *neighborState) {
+	if !ns.pending {
+		return // stale
+	}
+	ns.pending = false
+	ns.declined = true
+	n.proposeMore(ctx)
+}
+
+// newEpoch clears declined memory and proposes afresh.
+func (n *Node) newEpoch(ctx simnet.Context) {
+	for _, nb := range n.order {
+		n.state[nb].declined = false
+	}
+	n.proposeMore(ctx)
+}
+
+// proposeMore sends one PROP per free slot to the best eligible
+// candidates (alive, not connected, no proposal outstanding, not
+// declined this epoch), in weight order.
+func (n *Node) proposeMore(ctx simnet.Context) {
+	free := n.freeSlots()
+	if free <= 0 {
+		return
+	}
+	for _, nb := range n.order {
+		if free == 0 {
+			return
+		}
+		ns := n.state[nb]
+		if !ns.alive || ns.connected || ns.pending {
+			continue
+		}
+		// A declined candidate is retried only if it asked us since (we
+		// owe the freed capacity to waiters); otherwise skip until an
+		// epoch clears the flag.
+		if ns.declined && !ns.waiting {
+			continue
+		}
+		ns.pending = true
+		ns.waiting = false
+		n.Proposals++
+		ctx.Send(nb, Msg{K: kProp})
+		free--
+	}
+}
+
+// Alive reports whether the node is currently in the overlay.
+func (n *Node) Alive() bool { return n.alive }
+
+// Connections returns the node's current connections.
+func (n *Node) Connections() []graph.NodeID {
+	var out []graph.NodeID
+	for _, nb := range n.order {
+		if n.state[nb].connected {
+			out = append(out, nb)
+		}
+	}
+	return out
+}

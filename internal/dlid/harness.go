@@ -1,0 +1,217 @@
+package dlid
+
+import (
+	"fmt"
+	"sort"
+
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/matching"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/rng"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+)
+
+// Event is one scheduled churn command.
+type Event struct {
+	At    float64
+	Node  graph.NodeID
+	Leave bool // false = join
+}
+
+// Schedule builds a consistent random churn schedule: events spaced
+// `gap` time units apart (wide enough for repairs to quiesce between
+// events under unit-ish latencies), alternating between leaves of
+// random alive nodes and joins of random dead nodes with probability
+// leaveProb, never dropping the population below minAlive.
+func Schedule(s *pref.System, src *rng.Source, events int, gap, leaveProb float64, minAlive int) []Event {
+	n := s.Graph().NumNodes()
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	numAlive := n
+	var out []Event
+	t := gap
+	for len(out) < events {
+		var aliveIDs, deadIDs []graph.NodeID
+		for i, a := range alive {
+			if a {
+				aliveIDs = append(aliveIDs, i)
+			} else {
+				deadIDs = append(deadIDs, i)
+			}
+		}
+		leave := src.Bool(leaveProb)
+		if len(deadIDs) == 0 {
+			leave = true
+		}
+		if numAlive <= minAlive {
+			leave = false
+			if len(deadIDs) == 0 {
+				break // population pinned
+			}
+		}
+		var ev Event
+		if leave {
+			ev = Event{At: t, Node: aliveIDs[src.Intn(len(aliveIDs))], Leave: true}
+			alive[ev.Node] = false
+			numAlive--
+		} else {
+			ev = Event{At: t, Node: deadIDs[src.Intn(len(deadIDs))], Leave: false}
+			alive[ev.Node] = true
+			numAlive++
+		}
+		out = append(out, ev)
+		t += gap
+	}
+	return out
+}
+
+// Result reports a maintenance run.
+type Result struct {
+	Nodes []*Node
+	Stats simnet.Stats
+	// Live is the final matching among alive peers.
+	Live *matching.Matching
+	// Proposals/Accepts/Declines aggregate the protocol counters.
+	Proposals int
+	Accepts   int
+	Declines  int
+}
+
+// Run seeds the maintenance protocol with the LID/LIC matching,
+// injects the event schedule, runs to global quiescence, and verifies
+// the structural invariants (symmetry, feasibility, liveness of
+// endpoints, maximality on the live subgraph). Any violation is an
+// error — the tests treat it as a protocol bug.
+func Run(s *pref.System, tbl *satisfaction.Table, schedule []Event, opts simnet.Options) (Result, error) {
+	initial := matching.LIC(s, tbl)
+	nodes := NewNodes(s, tbl, initial)
+	opts.Quiesce = true
+	runner := simnet.NewRunner(s.Graph().NumNodes(), opts)
+	for _, ev := range schedule {
+		if ev.Leave {
+			runner.Schedule(ev.At, ev.Node, CmdLeave{})
+		} else {
+			runner.Schedule(ev.At, ev.Node, CmdJoin{})
+		}
+	}
+	stats, err := runner.Run(Handlers(nodes))
+	if err != nil {
+		return Result{Stats: stats}, err
+	}
+	res := Result{Nodes: nodes, Stats: stats}
+	for _, nd := range nodes {
+		res.Proposals += nd.Proposals
+		res.Accepts += nd.Accepts
+		res.Declines += nd.Declines
+	}
+	live, err := extractLive(s, nodes)
+	if err != nil {
+		return res, err
+	}
+	res.Live = live
+	if err := verifyMaximal(s, nodes, live); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// extractLive builds the live matching and verifies symmetry,
+// feasibility and endpoint liveness.
+func extractLive(s *pref.System, nodes []*Node) (*matching.Matching, error) {
+	m := matching.New(len(nodes))
+	for _, nd := range nodes {
+		if !nd.Alive() {
+			if len(nd.Connections()) != 0 {
+				return nil, fmt.Errorf("dlid: dead node %d holds connections", nd.id)
+			}
+			continue
+		}
+		for _, v := range nd.Connections() {
+			if !nodes[v].Alive() {
+				return nil, fmt.Errorf("dlid: node %d connected to dead %d", nd.id, v)
+			}
+			if nd.id < v {
+				m.Add(nd.id, v)
+			}
+		}
+	}
+	for _, nd := range nodes {
+		if !nd.Alive() {
+			continue
+		}
+		conns := nd.Connections()
+		if len(conns) != m.DegreeOf(nd.id) {
+			return nil, fmt.Errorf("dlid: asymmetric connections at node %d", nd.id)
+		}
+		if len(conns) > s.Quota(nd.id) {
+			return nil, fmt.Errorf("dlid: node %d over quota", nd.id)
+		}
+		sort.Ints(conns)
+		got := m.Connections(nd.id)
+		for i := range conns {
+			if conns[i] != got[i] {
+				return nil, fmt.Errorf("dlid: asymmetric connection %d-%d", nd.id, conns[i])
+			}
+		}
+	}
+	return m, nil
+}
+
+// verifyMaximal checks that no unmatched live edge has free quota at
+// both endpoints.
+func verifyMaximal(s *pref.System, nodes []*Node, live *matching.Matching) error {
+	for _, e := range s.Graph().Edges() {
+		if !nodes[e.U].Alive() || !nodes[e.V].Alive() || live.Has(e.U, e.V) {
+			continue
+		}
+		if live.DegreeOf(e.U) < s.Quota(e.U) && live.DegreeOf(e.V) < s.Quota(e.V) {
+			return fmt.Errorf("dlid: live matching not maximal at edge %v", e)
+		}
+	}
+	return nil
+}
+
+// LiveLICWeight computes the weight of a fresh LIC on the live
+// subgraph — the repair-quality yardstick.
+func LiveLICWeight(s *pref.System, nodes []*Node) (float64, error) {
+	g := s.Graph()
+	var keep []graph.NodeID
+	for id, nd := range nodes {
+		if nd.Alive() {
+			keep = append(keep, id)
+		}
+	}
+	sub, back, err := g.Subgraph(keep)
+	if err != nil {
+		return 0, err
+	}
+	fwd := make(map[graph.NodeID]int, len(back))
+	for newID, oldID := range back {
+		fwd[oldID] = newID
+	}
+	lists := make([][]graph.NodeID, sub.NumNodes())
+	quotas := make([]int, sub.NumNodes())
+	for newID, oldID := range back {
+		for _, j := range s.List(oldID) {
+			if nj, ok := fwd[j]; ok {
+				lists[newID] = append(lists[newID], nj)
+			}
+		}
+		quotas[newID] = s.Quota(oldID)
+	}
+	s2, err := pref.FromRanks(sub, lists, quotas)
+	if err != nil {
+		return 0, err
+	}
+	m := matching.LIC(s2, satisfaction.NewTable(s2))
+	// Weight must be computed against the ORIGINAL system so it is
+	// comparable to the live matching's weight.
+	var w float64
+	for _, e := range m.Edges() {
+		w += satisfaction.EdgeWeight(s, graph.Edge{U: back[e.U], V: back[e.V]}.Normalize())
+	}
+	return w, nil
+}

@@ -1,0 +1,92 @@
+package dynamic
+
+import (
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/rng"
+)
+
+// ChurnEventKind labels one churn event.
+type ChurnEventKind int
+
+const (
+	// EventLeave removes a uniformly chosen alive node.
+	EventLeave ChurnEventKind = iota
+	// EventJoin restores a uniformly chosen dead node.
+	EventJoin
+)
+
+// ChurnRecord captures one event and the state right after its repair.
+type ChurnRecord struct {
+	Kind         ChurnEventKind
+	Node         graph.NodeID
+	Stats        EventStats
+	Alive        int
+	Quality      float64 // live weight / fresh live-LIC weight
+	Satisfaction float64 // live total satisfaction after repair
+}
+
+// ChurnOptions configures a churn run.
+type ChurnOptions struct {
+	Events      int
+	LeaveProb   float64 // probability an event is a leave (when both possible)
+	MinAlive    int     // leaves are suppressed below this population
+	Seed        uint64
+	SkipQuality bool // skip per-event LiveLIC (O(m log m)) for large sweeps
+}
+
+// RunChurn drives `Events` random leave/join events through the
+// overlay, recording repair cost and quality after each. The event
+// stream is deterministic for a given seed.
+func RunChurn(o *Overlay, opts ChurnOptions) ([]ChurnRecord, error) {
+	src := rng.New(opts.Seed)
+	if opts.LeaveProb <= 0 {
+		opts.LeaveProb = 0.5
+	}
+	if opts.MinAlive < 2 {
+		opts.MinAlive = 2
+	}
+	n := o.s.Graph().NumNodes()
+	records := make([]ChurnRecord, 0, opts.Events)
+	for ev := 0; ev < opts.Events; ev++ {
+		var alive, dead []graph.NodeID
+		for x := 0; x < n; x++ {
+			if o.Alive(x) {
+				alive = append(alive, x)
+			} else {
+				dead = append(dead, x)
+			}
+		}
+		leave := src.Bool(opts.LeaveProb)
+		if len(dead) == 0 {
+			leave = true
+		}
+		if len(alive) <= opts.MinAlive {
+			leave = false
+		}
+		if !leave && len(dead) == 0 {
+			// Nothing can join and nothing may leave: population pinned.
+			continue
+		}
+		rec := ChurnRecord{}
+		if leave {
+			rec.Kind = EventLeave
+			rec.Node = alive[src.Intn(len(alive))]
+			rec.Stats = o.Leave(rec.Node)
+		} else {
+			rec.Kind = EventJoin
+			rec.Node = dead[src.Intn(len(dead))]
+			rec.Stats = o.Join(rec.Node)
+		}
+		rec.Alive = o.NumAlive()
+		if !opts.SkipQuality {
+			q, err := o.QualityRatio()
+			if err != nil {
+				return records, err
+			}
+			rec.Quality = q
+			rec.Satisfaction = o.LiveSatisfaction()
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}

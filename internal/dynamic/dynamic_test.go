@@ -1,0 +1,323 @@
+package dynamic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"overlaymatch/internal/gen"
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/rng"
+)
+
+func randomSystem(tb testing.TB, seed uint64, n int, p float64, b int) *pref.System {
+	tb.Helper()
+	src := rng.New(seed)
+	g := gen.GNP(src, n, p)
+	s, err := pref.Build(g, pref.NewRandomMetric(src.Split()), pref.UniformQuota(b))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func TestNewOverlayStartsAtLIC(t *testing.T) {
+	s := randomSystem(t, 1, 20, 0.3, 2)
+	o := NewOverlay(s, PreemptLighter)
+	if o.NumAlive() != 20 {
+		t.Fatal("not everyone alive at start")
+	}
+	fresh, err := o.LiveLIC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Matching().Equal(fresh) {
+		t.Fatal("initial matching is not LIC")
+	}
+	if q, err := o.QualityRatio(); err != nil || q != 1 {
+		t.Fatalf("initial quality = %v, %v", q, err)
+	}
+}
+
+func TestLeaveDropsConnections(t *testing.T) {
+	s := randomSystem(t, 2, 15, 0.5, 2)
+	o := NewOverlay(s, CompleteOnly)
+	// Pick a matched node.
+	var x graph.NodeID = -1
+	for i := 0; i < 15; i++ {
+		if o.Matching().DegreeOf(i) > 0 {
+			x = i
+			break
+		}
+	}
+	if x < 0 {
+		t.Skip("no matched node")
+	}
+	st := o.Leave(x)
+	if st.Removed == 0 {
+		t.Fatal("leave removed nothing")
+	}
+	if o.Matching().DegreeOf(x) != 0 {
+		t.Fatal("dead node still matched")
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaveJoinPanics(t *testing.T) {
+	s := randomSystem(t, 3, 6, 0.8, 1)
+	o := NewOverlay(s, CompleteOnly)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Join of alive node should panic")
+			}
+		}()
+		o.Join(0)
+	}()
+	o.Leave(0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Leave of dead node should panic")
+			}
+		}()
+		o.Leave(0)
+	}()
+}
+
+// TestRepairMaximality: after any churn sequence, the live matching is
+// maximal — no unmatched live edge has free quota at both ends (both
+// policies guarantee this).
+func TestRepairMaximality(t *testing.T) {
+	check := func(seed uint64, nRaw uint8, preempt bool) bool {
+		s := randomSystem(t, seed, int(nRaw)%15+5, 0.4, 2)
+		policy := CompleteOnly
+		if preempt {
+			policy = PreemptLighter
+		}
+		o := NewOverlay(s, policy)
+		if _, err := RunChurn(o, ChurnOptions{Events: 20, Seed: seed ^ 0xaa, SkipQuality: true}); err != nil {
+			return false
+		}
+		if o.Validate() != nil {
+			return false
+		}
+		for _, e := range s.Graph().Edges() {
+			if !o.Alive(e.U) || !o.Alive(e.V) || o.Matching().Has(e.U, e.V) {
+				continue
+			}
+			if o.Matching().DegreeOf(e.U) < s.Quota(e.U) && o.Matching().DegreeOf(e.V) < s.Quota(e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPreemptiveLocalStability: under PreemptLighter no unmatched live
+// edge is heavier than the lightest connection at both of its (full)
+// endpoints — the local-stability property fresh LIC would give.
+func TestPreemptiveLocalStability(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		s := randomSystem(t, seed, 16, 0.4, 2)
+		o := NewOverlay(s, PreemptLighter)
+		if _, err := RunChurn(o, ChurnOptions{Events: 30, Seed: seed, SkipQuality: true}); err != nil {
+			t.Fatal(err)
+		}
+		m := o.Matching()
+		for _, e := range s.Graph().Edges() {
+			if !o.Alive(e.U) || !o.Alive(e.V) || m.Has(e.U, e.V) {
+				continue
+			}
+			k := o.tbl.Key(e.U, e.V)
+			blocked := false
+			for _, x := range []graph.NodeID{e.U, e.V} {
+				if m.DegreeOf(x) < s.Quota(x) {
+					continue
+				}
+				if o.tbl.Key(x, o.lightestConnection(x)).Heavier(k) {
+					blocked = true
+				}
+			}
+			if !blocked {
+				t.Fatalf("seed %d: edge %v would preempt but was not applied", seed, e)
+			}
+		}
+	}
+}
+
+// TestPreemptiveQualityBeatsCompletion: averaged over many churn runs,
+// preemptive repair must track fresh LIC at least as well as
+// completion-only repair.
+func TestPreemptiveQualityBeatsCompletion(t *testing.T) {
+	var qComplete, qPreempt float64
+	const runs = 10
+	for seed := uint64(0); seed < runs; seed++ {
+		s := randomSystem(t, seed, 18, 0.4, 2)
+		oc := NewOverlay(s, CompleteOnly)
+		op := NewOverlay(s, PreemptLighter)
+		rc, err := RunChurn(oc, ChurnOptions{Events: 25, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := RunChurn(op, ChurnOptions{Events: 25, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rc {
+			qComplete += rc[i].Quality
+			qPreempt += rp[i].Quality
+		}
+	}
+	if qPreempt < qComplete-1e-9 {
+		t.Fatalf("preemptive quality %v < completion quality %v", qPreempt, qComplete)
+	}
+}
+
+// TestQualityRatioBounded: repair never leaves more than 2x weight on
+// the table relative to fresh LIC (both are maximal matchings with the
+// greedy ½-approx structure), and preemptive repair stays close to 1.
+func TestQualityRatioBounded(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		s := randomSystem(t, seed, 15, 0.5, 2)
+		o := NewOverlay(s, PreemptLighter)
+		recs, err := RunChurn(o, ChurnOptions{Events: 20, Seed: seed * 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range recs {
+			if r.Quality < 0.5-1e-9 {
+				t.Fatalf("seed %d event %d: quality %v below greedy floor", seed, i, r.Quality)
+			}
+		}
+	}
+}
+
+func TestSetSystemQuotaReduction(t *testing.T) {
+	s := randomSystem(t, 9, 12, 0.7, 3)
+	o := NewOverlay(s, PreemptLighter)
+	// Reduce node 0's quota to 1 via a rebuilt system.
+	g := s.Graph()
+	lists := make([][]graph.NodeID, g.NumNodes())
+	quotas := make([]int, g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		lists[i] = append([]graph.NodeID(nil), s.List(i)...)
+		quotas[i] = s.Quota(i)
+	}
+	quotas[0] = 1
+	s2, err := pref.FromRanks(g, lists, quotas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := o.Matching().DegreeOf(0)
+	st := o.SetSystem(s2, []graph.NodeID{0})
+	if o.Matching().DegreeOf(0) > 1 {
+		t.Fatalf("node 0 still has %d connections after quota cut", o.Matching().DegreeOf(0))
+	}
+	if before > 1 && st.Removed == 0 {
+		t.Fatal("quota cut removed nothing")
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetSystemPreferenceFlip(t *testing.T) {
+	// Flipping a node's preference list upside down must keep the
+	// overlay valid and locally stable after repair.
+	s := randomSystem(t, 11, 12, 0.6, 2)
+	o := NewOverlay(s, PreemptLighter)
+	g := s.Graph()
+	lists := make([][]graph.NodeID, g.NumNodes())
+	quotas := make([]int, g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		lists[i] = append([]graph.NodeID(nil), s.List(i)...)
+		quotas[i] = s.Quota(i)
+	}
+	for a, b := 0, len(lists[0])-1; a < b; a, b = a+1, b-1 {
+		lists[0][a], lists[0][b] = lists[0][b], lists[0][a]
+	}
+	s2, err := pref.FromRanks(g, lists, quotas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.SetSystem(s2, []graph.NodeID{0})
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if o.System() != s2 {
+		t.Fatal("system not swapped")
+	}
+}
+
+func TestChurnDeterminism(t *testing.T) {
+	run := func() []ChurnRecord {
+		s := randomSystem(t, 21, 14, 0.4, 2)
+		o := NewOverlay(s, PreemptLighter)
+		recs, err := RunChurn(o, ChurnOptions{Events: 15, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChurnRespectsMinAlive(t *testing.T) {
+	s := randomSystem(t, 31, 10, 0.5, 1)
+	o := NewOverlay(s, CompleteOnly)
+	recs, err := RunChurn(o, ChurnOptions{Events: 100, LeaveProb: 0.99, MinAlive: 5, Seed: 2, SkipQuality: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		if r.Alive < 5 {
+			t.Fatalf("event %d dropped population to %d", i, r.Alive)
+		}
+	}
+}
+
+// TestLiveLICAfterChurnMatchesManualSubgraph: the quality yardstick
+// itself must be correct — compare against LIC on a hand-built
+// restricted system.
+func TestLiveLICAfterChurn(t *testing.T) {
+	s := randomSystem(t, 41, 12, 0.5, 2)
+	o := NewOverlay(s, PreemptLighter)
+	o.Leave(3)
+	o.Leave(7)
+	fresh, err := o.LiveLIC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.DegreeOf(3) != 0 || fresh.DegreeOf(7) != 0 {
+		t.Fatal("LiveLIC matched dead nodes")
+	}
+	if err := fresh.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetSystemRequiresSameGraph(t *testing.T) {
+	s1 := randomSystem(t, 51, 10, 0.5, 2)
+	s2 := randomSystem(t, 52, 10, 0.5, 2) // different graph object
+	o := NewOverlay(s1, CompleteOnly)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetSystem with a foreign graph should panic")
+		}
+	}()
+	o.SetSystem(s2, nil)
+}

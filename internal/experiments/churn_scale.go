@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"overlaymatch/internal/dynamic"
+	"overlaymatch/internal/lid"
+	"overlaymatch/internal/matching"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+	"overlaymatch/internal/stats"
+)
+
+// E9Churn (§7 extension): run leave/join churn through the dynamic
+// overlay under both repair policies and report repair cost (edges
+// examined/changed per event) and repair quality (live weight vs a
+// fresh LIC of the live subgraph). Expected shape: preemptive repair
+// holds quality ≈ 1 at a modest extra cost; completion-only repair is
+// cheaper but drifts below 1.
+func E9Churn(cfg Config) ([]*stats.Table, error) {
+	t := stats.NewTable("E9 (§7): churn repair cost and quality",
+		"topology", "policy", "events", "mean examined", "mean added", "mean removed",
+		"mean quality", "min quality", "mean live sat")
+	n := cfg.pick(30, 120)
+	events := cfg.pick(20, 120)
+	for _, topo := range topologies()[:3] {
+		for _, policy := range []struct {
+			name string
+			p    dynamic.Policy
+		}{{"complete", dynamic.CompleteOnly}, {"preempt", dynamic.PreemptLighter}} {
+			w, err := buildWorkload(cfg.Seed^0x99, topo, metrics()[0], n, 3)
+			if err != nil {
+				return nil, err
+			}
+			o := dynamic.NewOverlay(w.System, policy.p)
+			recs, err := dynamic.RunChurn(o, dynamic.ChurnOptions{
+				Events: events, Seed: cfg.Seed + 17, LeaveProb: 0.5, MinAlive: n / 3,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := o.Validate(); err != nil {
+				return nil, fmt.Errorf("E9: overlay invalid after churn: %w", err)
+			}
+			var ex, add, rem, qual, sat []float64
+			for _, r := range recs {
+				ex = append(ex, float64(r.Stats.Examined))
+				add = append(add, float64(r.Stats.Added))
+				rem = append(rem, float64(r.Stats.Removed))
+				qual = append(qual, r.Quality)
+				sat = append(sat, r.Satisfaction)
+			}
+			t.AddRowf(topo.name, policy.name, len(recs),
+				stats.Mean(ex), stats.Mean(add), stats.Mean(rem),
+				stats.Mean(qual), stats.Min(qual), stats.Mean(sat))
+		}
+	}
+	return []*stats.Table{t}, nil
+}
+
+// E10Scalability: wall-clock time of the centralized LIC scan, the
+// event-driven LID simulation, and the goroutine LID runtime as the
+// network grows. Timing is inherently machine-dependent; the shape to
+// verify is near-linear growth in m for LIC and the event runtime.
+func E10Scalability(cfg Config) ([]*stats.Table, error) {
+	t := stats.NewTable("E10: wall-clock scalability (avg deg ~8, b=3)",
+		"n", "edges", "LIC", "LID event", "LID goroutines")
+	ns := []int{500, 1000, 2000, 4000, 8000}
+	if cfg.Quick {
+		ns = []int{200, 400}
+	}
+	for _, n := range ns {
+		w, err := buildWorkload(cfg.Seed^uint64(10*n), topologies()[0], metrics()[0], n, 3)
+		if err != nil {
+			return nil, err
+		}
+		sys := w.System
+		tbl := satisfaction.NewTable(sys)
+
+		t0 := time.Now()
+		licM := matching.LIC(sys, tbl).Weight(sys)
+		licDur := time.Since(t0)
+
+		t1 := time.Now()
+		resE, err := lid.RunEvent(sys, tbl, simnet.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		evDur := time.Since(t1)
+
+		t2 := time.Now()
+		resG, err := lid.RunGoroutines(sys, tbl, 120*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		goDur := time.Since(t2)
+
+		if resE.Matching.Weight(sys) != licM || resG.Matching.Weight(sys) != licM {
+			return nil, fmt.Errorf("E10: runtimes disagree at n=%d", n)
+		}
+		t.AddRowf(n, sys.Graph().NumEdges(),
+			licDur.String(), evDur.String(), goDur.String())
+	}
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"overlaymatch/internal/stats"
+)
+
+func TestParallelForOrderedResults(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		got, err := parallelFor(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d]=%d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestParallelForError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := parallelFor(4, 20, func(i int) (int, error) {
+		if i == 7 || i == 13 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParallelForEmpty(t *testing.T) {
+	got, err := parallelFor(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty case: %v %v", got, err)
+	}
+}
+
+// TestParallelDeterminism: the oracle experiments must produce
+// bit-identical tables for every worker count.
+func TestParallelDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		cfg := quickCfg()
+		cfg.Workers = workers
+		var b strings.Builder
+		for _, run := range []func(Config) ([]*stats.Table, error){E1LICWeightRatio, E3SatisfactionRatio} {
+			tables, err := run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tbl := range tables {
+				if err := tbl.WriteCSV(&b); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return b.String()
+	}
+	serial := render(1)
+	for _, w := range []int{2, 4, 0} {
+		if render(w) != serial {
+			t.Fatalf("workers=%d output differs from serial", w)
+		}
+	}
+}

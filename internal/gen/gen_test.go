@@ -1,0 +1,358 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/rng"
+)
+
+func TestGNPExtremes(t *testing.T) {
+	src := rng.New(1)
+	if g := GNP(src, 10, 0); g.NumEdges() != 0 {
+		t.Fatalf("GNP(p=0) has %d edges", g.NumEdges())
+	}
+	if g := GNP(src, 10, 1); g.NumEdges() != 45 {
+		t.Fatalf("GNP(p=1) has %d edges, want 45", g.NumEdges())
+	}
+	if g := GNP(src, 0, 0.5); g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatal("GNP(n=0) not empty")
+	}
+	if g := GNP(src, 1, 0.5); g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Fatal("GNP(n=1) wrong")
+	}
+}
+
+func TestGNPEdgeCountConcentration(t *testing.T) {
+	// E[m] = p*n(n-1)/2. With n=200, p=0.1: mean=1990, sd≈42. Average
+	// over 20 seeds and allow 5 standard errors.
+	const n, p, reps = 200, 0.1, 20
+	mean := 0.0
+	for seed := uint64(0); seed < reps; seed++ {
+		mean += float64(GNP(rng.New(seed), n, p).NumEdges())
+	}
+	mean /= reps
+	want := p * float64(n*(n-1)) / 2
+	se := math.Sqrt(want*(1-p)) / math.Sqrt(reps)
+	if math.Abs(mean-want) > 5*se {
+		t.Fatalf("GNP mean edges %.1f, want %.1f ± %.1f", mean, want, 5*se)
+	}
+}
+
+func TestGNPPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"p<0":  func() { GNP(rng.New(0), 5, -0.1) },
+		"p>1":  func() { GNP(rng.New(0), 5, 1.1) },
+		"pNaN": func() { GNP(rng.New(0), 5, math.NaN()) },
+		"n<0":  func() { GNP(rng.New(0), -1, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGNMExactCount(t *testing.T) {
+	check := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw)%20 + 2
+		maxM := n * (n - 1) / 2
+		m := int(mRaw) % (maxM + 1)
+		g := GNM(rng.New(seed), n, m)
+		return g.NumNodes() == n && g.NumEdges() == m
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGNMDensePath(t *testing.T) {
+	// m > maxM/2 exercises the index-sampling path.
+	n := 12
+	maxM := n * (n - 1) / 2
+	g := GNM(rng.New(7), n, maxM-3)
+	if g.NumEdges() != maxM-3 {
+		t.Fatalf("dense GNM edges = %d", g.NumEdges())
+	}
+	full := GNM(rng.New(7), n, maxM)
+	if full.NumEdges() != maxM {
+		t.Fatalf("complete GNM edges = %d", full.NumEdges())
+	}
+}
+
+func TestGNMPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GNM with m too large did not panic")
+		}
+	}()
+	GNM(rng.New(0), 4, 7)
+}
+
+func TestPairFromIndexBijection(t *testing.T) {
+	n := 40
+	seen := make(map[[2]int]bool)
+	for idx := 0; idx < n*(n-1)/2; idx++ {
+		u, v := pairFromIndex(idx)
+		if u < 0 || v <= u || v >= n {
+			t.Fatalf("pairFromIndex(%d) = (%d,%d) invalid", idx, u, v)
+		}
+		if seen[[2]int{u, v}] {
+			t.Fatalf("pairFromIndex(%d) = (%d,%d) repeated", idx, u, v)
+		}
+		seen[[2]int{u, v}] = true
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	g, pts := Geometric(rng.New(3), 150, 0.2)
+	if g.NumNodes() != 150 || len(pts) != 150 {
+		t.Fatal("wrong sizes")
+	}
+	// Verify against the O(n^2) definition.
+	for u := 0; u < 150; u++ {
+		for v := u + 1; v < 150; v++ {
+			dx := pts[u][0] - pts[v][0]
+			dy := pts[u][1] - pts[v][1]
+			within := dx*dx+dy*dy <= 0.2*0.2
+			if within != g.HasEdge(u, v) {
+				t.Fatalf("edge (%d,%d): distance test %v, graph %v", u, v, within, g.HasEdge(u, v))
+			}
+		}
+	}
+}
+
+func TestGeometricExtremeRadius(t *testing.T) {
+	g, _ := Geometric(rng.New(1), 20, 2.0) // radius covers the square
+	if g.NumEdges() != 190 {
+		t.Fatalf("radius-2 geometric not complete: %d edges", g.NumEdges())
+	}
+	g0, _ := Geometric(rng.New(1), 20, 0)
+	if g0.NumEdges() != 0 {
+		t.Fatalf("radius-0 geometric has %d edges", g0.NumEdges())
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	n, m := 100, 3
+	g := BarabasiAlbert(rng.New(5), n, m)
+	if g.NumNodes() != n {
+		t.Fatal("wrong node count")
+	}
+	// Exact edge count: clique on m+1 nodes + m per added node.
+	want := (m+1)*m/2 + (n-(m+1))*m
+	if g.NumEdges() != want {
+		t.Fatalf("BA edges = %d, want %d", g.NumEdges(), want)
+	}
+	if !g.IsConnected() {
+		t.Fatal("BA graph disconnected")
+	}
+	// Preferential attachment should produce a hub: max degree well
+	// above m (for n=100, m=3, typical max degree is > 15).
+	if g.MaxDegree() <= 2*m {
+		t.Fatalf("BA max degree %d suspiciously small", g.MaxDegree())
+	}
+	if g.MinDegree() < m {
+		t.Fatalf("BA min degree %d < m", g.MinDegree())
+	}
+}
+
+func TestBarabasiAlbertPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"m=0":  func() { BarabasiAlbert(rng.New(0), 5, 0) },
+		"m>=n": func() { BarabasiAlbert(rng.New(0), 5, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	n, k := 60, 4
+	lattice := WattsStrogatz(rng.New(9), n, k, 0)
+	if lattice.NumEdges() != n*k/2 {
+		t.Fatalf("beta=0 lattice edges = %d, want %d", lattice.NumEdges(), n*k/2)
+	}
+	for u := 0; u < n; u++ {
+		if lattice.Degree(u) != k {
+			t.Fatalf("beta=0 node %d degree %d, want %d", u, lattice.Degree(u), k)
+		}
+		if !lattice.HasEdge(u, (u+1)%n) || !lattice.HasEdge(u, (u+2)%n) {
+			t.Fatalf("beta=0 lattice missing ring edge at %d", u)
+		}
+	}
+	rewired := WattsStrogatz(rng.New(9), n, k, 0.5)
+	if rewired.NumNodes() != n {
+		t.Fatal("wrong node count")
+	}
+	// Rewiring keeps edges when targets collide, so count stays n*k/2
+	// unless fallbacks also collide; it can only stay equal or drop by
+	// rare fallback duplicates. It must differ structurally from the
+	// lattice with overwhelming probability.
+	same := true
+	for u := 0; u < n && same; u++ {
+		if rewired.Degree(u) != k {
+			same = false
+		}
+		if !rewired.HasEdge(u, (u+1)%n) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("beta=0.5 produced the exact lattice")
+	}
+}
+
+func TestWattsStrogatzPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"odd k":  func() { WattsStrogatz(rng.New(0), 10, 3, 0.1) },
+		"k>=n":   func() { WattsStrogatz(rng.New(0), 4, 4, 0.1) },
+		"beta<0": func() { WattsStrogatz(rng.New(0), 10, 2, -0.1) },
+		"beta>1": func() { WattsStrogatz(rng.New(0), 10, 2, 1.5) },
+		"zero k": func() { WattsStrogatz(rng.New(0), 10, 0, 0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSBM(t *testing.T) {
+	sizes := []int{30, 30, 30}
+	g, community := SBM(rng.New(11), sizes, 0.5, 0.02)
+	if g.NumNodes() != 90 || len(community) != 90 {
+		t.Fatal("wrong sizes")
+	}
+	if community[0] != 0 || community[29] != 0 || community[30] != 1 || community[89] != 2 {
+		t.Fatalf("community labels wrong: %v", community[:3])
+	}
+	in, out := 0, 0
+	for _, e := range g.Edges() {
+		if community[e.U] == community[e.V] {
+			in++
+		} else {
+			out++
+		}
+	}
+	// Expected: in ≈ 0.5 * 3 * C(30,2) = 652.5; out ≈ 0.02 * 2700 = 54.
+	if in < 500 || in > 800 {
+		t.Fatalf("in-community edges = %d, expected ≈650", in)
+	}
+	if out < 20 || out > 100 {
+		t.Fatalf("cross-community edges = %d, expected ≈54", out)
+	}
+}
+
+func TestDeterministicFamilies(t *testing.T) {
+	cases := []struct {
+		name         string
+		g            *graph.Graph
+		nodes, edges int
+		connected    bool
+	}{
+		{"ring10", Ring(10), 10, 10, true},
+		{"ring2", Ring(2), 2, 1, true},
+		{"ring1", Ring(1), 1, 0, true},
+		{"path6", Path(6), 6, 5, true},
+		{"path0", Path(0), 0, 0, true},
+		{"complete7", Complete(7), 7, 21, true},
+		{"star9", Star(9), 9, 8, true},
+		{"grid3x4", Grid(3, 4), 12, 17, true},
+		{"tree15", BinaryTree(15), 15, 14, true},
+		{"k23", CompleteBipartite(2, 3), 5, 6, true},
+	}
+	for _, c := range cases {
+		if c.g.NumNodes() != c.nodes {
+			t.Errorf("%s: nodes = %d, want %d", c.name, c.g.NumNodes(), c.nodes)
+		}
+		if c.g.NumEdges() != c.edges {
+			t.Errorf("%s: edges = %d, want %d", c.name, c.g.NumEdges(), c.edges)
+		}
+		if c.g.IsConnected() != c.connected {
+			t.Errorf("%s: connected = %v", c.name, c.g.IsConnected())
+		}
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	g := Grid(2, 3)
+	// Node (r,c) = r*3+c. Check a few adjacencies.
+	for _, e := range []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 3}, {U: 2, V: 5}} {
+		if !g.HasEdge(e.U, e.V) {
+			t.Errorf("grid missing edge %v", e)
+		}
+	}
+	if g.HasEdge(2, 3) {
+		t.Error("grid has wraparound edge")
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%50 + 2
+		g := RandomTree(rng.New(seed), n)
+		return g.NumNodes() == n && g.NumEdges() == n-1 && g.IsConnected()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomTreeSmall(t *testing.T) {
+	if g := RandomTree(rng.New(0), 0); g.NumNodes() != 0 {
+		t.Fatal("n=0")
+	}
+	if g := RandomTree(rng.New(0), 1); g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Fatal("n=1")
+	}
+	if g := RandomTree(rng.New(0), 2); g.NumEdges() != 1 {
+		t.Fatal("n=2")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	// Same seed ⇒ identical graphs; different seed ⇒ (almost surely)
+	// different edge sets for the random families.
+	a := GNP(rng.New(42), 50, 0.2)
+	b := GNP(rng.New(42), 50, 0.2)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("GNP not deterministic")
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("GNP not deterministic")
+		}
+	}
+	c := GNP(rng.New(43), 50, 0.2)
+	diff := c.NumEdges() != a.NumEdges()
+	if !diff {
+		ec := c.Edges()
+		for i := range ea {
+			if ea[i] != ec[i] {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical GNP graphs")
+	}
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList: the parser must never panic on arbitrary input,
+// and anything it accepts must round-trip through WriteEdgeList.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("n 3\n0 1\n1 2\n")
+	f.Add("# comment\n\nn 5\n0 4\n")
+	f.Add("n 0\n")
+	f.Add("0 1\n")
+	f.Add("n -1\n")
+	f.Add("n 3\n1 1\n")
+	f.Add("n x\n0 1")
+	f.Add(strings.Repeat("n 2\n", 3))
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("serializing accepted graph: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("reparsing own output: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || !reflect.DeepEqual(g2.Edges(), g.Edges()) {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}
+
+// FuzzGraphJSON: Unmarshal must never panic and accepted graphs must
+// satisfy the structural invariants.
+func FuzzGraphJSON(f *testing.F) {
+	f.Add(`{"n":3,"edges":[[0,1],[1,2]]}`)
+	f.Add(`{"n":0,"edges":[]}`)
+	f.Add(`{"n":-1}`)
+	f.Add(`{"n":2,"edges":[[0,0]]}`)
+	f.Add(`{"n":1e9,"edges":[]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		var g Graph
+		if err := g.UnmarshalJSON([]byte(input)); err != nil {
+			return
+		}
+		if g.NumNodes() > 1<<20 {
+			t.Skip("absurdly large accepted graph; skip invariant scan")
+		}
+		degSum := 0
+		for u := 0; u < g.NumNodes(); u++ {
+			degSum += g.Degree(u)
+		}
+		if degSum != 2*g.NumEdges() {
+			t.Fatal("degree sum invariant violated")
+		}
+	})
+}

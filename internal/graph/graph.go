@@ -1,0 +1,339 @@
+// Package graph implements the undirected graphs that model peer-to-peer
+// overlays in the paper's problem model (§2): nodes are peers, edges are
+// potential connections. The package provides construction, validation,
+// structural queries (degrees, components, distances) and serialization;
+// preference lists and quotas live in package pref, matchings in package
+// matching.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. Nodes of a Graph with n nodes are exactly
+// 0..n-1; algorithms rely on this density to use slices instead of maps.
+type NodeID = int
+
+// Edge is an undirected edge between two distinct nodes. The canonical
+// form has U < V; Normalize establishes it.
+type Edge struct {
+	U, V NodeID
+}
+
+// Normalize returns the edge with endpoints ordered so that U < V.
+func (e Edge) Normalize() Edge {
+	if e.U > e.V {
+		e.U, e.V = e.V, e.U
+	}
+	return e
+}
+
+// Other returns the endpoint of e that is not x. It panics if x is not
+// an endpoint of e.
+func (e Edge) Other(x NodeID) NodeID {
+	switch x {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %v", x, e))
+}
+
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// Graph is a simple undirected graph over nodes 0..n-1 with no self
+// loops and no parallel edges. The zero value is an empty graph with no
+// nodes. Graph is immutable once built through a Builder; the read
+// methods are safe for concurrent use.
+type Graph struct {
+	n     int
+	adj   [][]NodeID // adj[u] sorted ascending
+	edges []Edge     // canonical, sorted lexicographically
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// Neighbors returns the sorted neighbor list of u. The returned slice
+// is shared with the graph and must not be modified.
+func (g *Graph) Neighbors(u NodeID) []NodeID { return g.adj[u] }
+
+// Edges returns all edges in canonical form, sorted lexicographically.
+// The returned slice is shared with the graph and must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// HasEdge reports whether {u,v} is an edge. Runs in O(log deg(u)).
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	a := g.adj[u]
+	i := sort.SearchInts(a, v)
+	return i < len(a) && a[i] == v
+}
+
+// MaxDegree returns the maximum degree over all nodes (0 for an empty
+// graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, a := range g.adj {
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	return max
+}
+
+// MinDegree returns the minimum degree over all nodes (0 for an empty
+// graph).
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	min := len(g.adj[0])
+	for _, a := range g.adj[1:] {
+		if len(a) < min {
+			min = len(a)
+		}
+	}
+	return min
+}
+
+// AvgDegree returns the average degree 2m/n, or 0 for an empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(len(g.edges)) / float64(g.n)
+}
+
+// Components returns the connected components as sorted node slices,
+// ordered by their smallest node.
+func (g *Graph) Components() [][]NodeID {
+	seen := make([]bool, g.n)
+	var comps [][]NodeID
+	queue := make([]NodeID, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = queue[:0]
+		queue = append(queue, s)
+		comp := []NodeID{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+					comp = append(comp, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether the graph has at most one connected
+// component. The empty graph and the single-node graph are connected.
+func (g *Graph) IsConnected() bool {
+	return len(g.Components()) <= 1
+}
+
+// BFSDistances returns the hop distance from src to every node, with -1
+// for unreachable nodes.
+func (g *Graph) BFSDistances(src NodeID) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Subgraph returns the subgraph induced by keep (node IDs are
+// relabelled 0..len(keep)-1 in the order given) together with the
+// mapping from new IDs back to original IDs. Duplicate or out-of-range
+// nodes in keep cause an error.
+func (g *Graph) Subgraph(keep []NodeID) (*Graph, []NodeID, error) {
+	newID := make(map[NodeID]int, len(keep))
+	for i, u := range keep {
+		if u < 0 || u >= g.n {
+			return nil, nil, fmt.Errorf("graph: subgraph node %d out of range [0,%d)", u, g.n)
+		}
+		if _, dup := newID[u]; dup {
+			return nil, nil, fmt.Errorf("graph: subgraph node %d duplicated", u)
+		}
+		newID[u] = i
+	}
+	b := NewBuilder(len(keep))
+	for _, e := range g.edges {
+		iu, okU := newID[e.U]
+		iv, okV := newID[e.V]
+		if okU && okV {
+			b.AddEdge(iu, iv)
+		}
+	}
+	sub, err := b.Graph()
+	if err != nil {
+		return nil, nil, err
+	}
+	back := append([]NodeID(nil), keep...)
+	return sub, back, nil
+}
+
+// String returns a compact description such as "graph{n=5 m=7}".
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.n, len(g.edges))
+}
+
+// Builder accumulates edges and produces an immutable Graph. Adding an
+// edge twice, a self loop, or an out-of-range endpoint is recorded and
+// reported by Graph().
+type Builder struct {
+	n    int
+	seen map[Edge]struct{}
+	errs []error
+}
+
+// NewBuilder returns a Builder for a graph on n nodes. It panics if n
+// is negative.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: NewBuilder with negative n")
+	}
+	return &Builder{n: n, seen: make(map[Edge]struct{})}
+}
+
+// AddEdge records the undirected edge {u,v}. Violations (self loop,
+// out-of-range, duplicate) are collected and surfaced by Graph().
+func (b *Builder) AddEdge(u, v NodeID) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		b.errs = append(b.errs, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+		return
+	}
+	if u == v {
+		b.errs = append(b.errs, fmt.Errorf("graph: self loop at node %d", u))
+		return
+	}
+	e := Edge{u, v}.Normalize()
+	if _, dup := b.seen[e]; dup {
+		b.errs = append(b.errs, fmt.Errorf("graph: duplicate edge %v", e))
+		return
+	}
+	b.seen[e] = struct{}{}
+}
+
+// TryAddEdge records {u,v} if it is a valid new edge and reports
+// whether it was added. Unlike AddEdge it treats duplicates and self
+// loops as a normal "no" rather than an error, which is what random
+// generators want.
+func (b *Builder) TryAddEdge(u, v NodeID) bool {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n || u == v {
+		return false
+	}
+	e := Edge{u, v}.Normalize()
+	if _, dup := b.seen[e]; dup {
+		return false
+	}
+	b.seen[e] = struct{}{}
+	return true
+}
+
+// HasEdge reports whether {u,v} has been added.
+func (b *Builder) HasEdge(u, v NodeID) bool {
+	_, ok := b.seen[Edge{u, v}.Normalize()]
+	return ok
+}
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.seen) }
+
+// Graph finalizes the builder. It returns an error if any AddEdge call
+// was invalid.
+func (b *Builder) Graph() (*Graph, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("graph: %d invalid edge(s), first: %w", len(b.errs), b.errs[0])
+	}
+	g := &Graph{
+		n:     b.n,
+		adj:   make([][]NodeID, b.n),
+		edges: make([]Edge, 0, len(b.seen)),
+	}
+	for e := range b.seen {
+		g.edges = append(g.edges, e)
+	}
+	sort.Slice(g.edges, func(i, j int) bool {
+		if g.edges[i].U != g.edges[j].U {
+			return g.edges[i].U < g.edges[j].U
+		}
+		return g.edges[i].V < g.edges[j].V
+	})
+	deg := make([]int, b.n)
+	for _, e := range g.edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for u := range g.adj {
+		g.adj[u] = make([]NodeID, 0, deg[u])
+	}
+	for _, e := range g.edges {
+		g.adj[e.U] = append(g.adj[e.U], e.V)
+		g.adj[e.V] = append(g.adj[e.V], e.U)
+	}
+	for u := range g.adj {
+		sort.Ints(g.adj[u])
+	}
+	return g, nil
+}
+
+// MustGraph is Graph() but panics on error; for use with statically
+// correct construction (tests, examples).
+func (b *Builder) MustGraph() *Graph {
+	g, err := b.Graph()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromEdges builds a graph on n nodes from an edge list.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Graph()
+}
+
+// MustFromEdges is FromEdges but panics on error.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

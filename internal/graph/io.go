@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The textual edge-list format is line oriented:
+//
+//	# comment
+//	n <numNodes>
+//	<u> <v>
+//	<u> <v>
+//	...
+//
+// Blank lines and lines starting with '#' are ignored. The "n" header
+// must appear before any edge line. Isolated nodes are representable
+// because n is explicit.
+
+// WriteEdgeList serializes g in the textual edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.NumNodes()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the textual edge-list format.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var b *Builder
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "n" {
+			if b != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate n header", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: malformed n header %q", lineNo, line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: invalid node count %q", lineNo, fields[1])
+			}
+			b = NewBuilder(n)
+			continue
+		}
+		if b == nil {
+			return nil, fmt.Errorf("graph: line %d: edge before n header", lineNo)
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: malformed edge %q", lineNo, line)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graph: line %d: non-integer endpoint in %q", lineNo, line)
+		}
+		b.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: missing n header")
+	}
+	return b.Graph()
+}
+
+// jsonGraph is the JSON wire form: {"n": 4, "edges": [[0,1],[1,2]]}.
+type jsonGraph struct {
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{N: g.n, Edges: make([][2]int, len(g.edges))}
+	for i, e := range g.edges {
+		jg.Edges[i] = [2]int{e.U, e.V}
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	if jg.N < 0 {
+		return fmt.Errorf("graph: negative node count %d", jg.N)
+	}
+	b := NewBuilder(jg.N)
+	for _, e := range jg.Edges {
+		b.AddEdge(e[0], e[1])
+	}
+	built, err := b.Graph()
+	if err != nil {
+		return err
+	}
+	*g = *built
+	return nil
+}

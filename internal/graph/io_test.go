@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"overlaymatch/internal/rng"
+)
+
+func randomGraph(seed uint64, n int) *Graph {
+	src := rng.New(seed)
+	b := NewBuilder(n)
+	for k := 0; k < n*3; k++ {
+		b.TryAddEdge(src.Intn(n), src.Intn(n))
+	}
+	return b.MustGraph()
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		g := randomGraph(seed, int(nRaw)%30+1)
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		return g2.NumNodes() == g.NumNodes() && reflect.DeepEqual(g2.Edges(), g.Edges())
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadEdgeListCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nn 4\n0 1\n# another\n2 3\n\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 2 {
+		t.Fatalf("parsed %v", g)
+	}
+}
+
+func TestReadEdgeListIsolatedNodes(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("n 10\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 10 || g.Degree(9) != 0 {
+		t.Fatal("isolated nodes lost")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":        "0 1\n",
+		"missing header":   "# nothing\n",
+		"double header":    "n 3\nn 3\n",
+		"bad header":       "n x\n",
+		"negative header":  "n -1\n",
+		"short edge":       "n 3\n1\n",
+		"long edge":        "n 3\n1 2 3\n",
+		"non-integer edge": "n 3\na b\n",
+		"self loop":        "n 3\n1 1\n",
+		"duplicate":        "n 3\n0 1\n1 0\n",
+		"out of range":     "n 3\n0 7\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := randomGraph(5, 12)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g2 Graph
+	if err := json.Unmarshal(data, &g2); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || !reflect.DeepEqual(g2.Edges(), g.Edges()) {
+		t.Fatal("JSON round trip changed the graph")
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	var g Graph
+	for name, in := range map[string]string{
+		"negative n": `{"n":-1,"edges":[]}`,
+		"bad edge":   `{"n":2,"edges":[[0,5]]}`,
+		"self loop":  `{"n":2,"edges":[[1,1]]}`,
+		"not json":   `{`,
+	} {
+		if err := json.Unmarshal([]byte(in), &g); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestJSONWireFormat(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{0, 1}, {1, 2}})
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"n":3,"edges":[[0,1],[1,2]]}`; string(data) != want {
+		t.Fatalf("wire format = %s, want %s", data, want)
+	}
+}

@@ -1,0 +1,40 @@
+package lid
+
+import (
+	"testing"
+
+	"overlaymatch/internal/matching"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+)
+
+// FuzzLIDEquivalence drives the whole pipeline from fuzzer-chosen
+// parameters — topology seed, size, quota, latency seed — and checks
+// the Lemma 3–6 equivalence on every instance. Run with
+// `go test -fuzz FuzzLIDEquivalence ./internal/lid` to explore beyond
+// the seed corpus.
+func FuzzLIDEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(10), uint8(2), uint64(7))
+	f.Add(uint64(42), uint8(25), uint8(1), uint64(0))
+	f.Add(uint64(999), uint8(3), uint8(4), uint64(3))
+	f.Add(uint64(0), uint8(0), uint8(0), uint64(0))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, bRaw uint8, latSeed uint64) {
+		n := int(nRaw)%30 + 2
+		b := int(bRaw)%5 + 1
+		s := randomSystem(t, seed, n, 0.4, b)
+		tbl := satisfaction.NewTable(s)
+		res, err := RunEvent(s, tbl, simnet.Options{
+			Seed:    latSeed,
+			Latency: simnet.ExponentialLatency(5),
+		})
+		if err != nil {
+			t.Fatalf("LID failed: %v", err)
+		}
+		if err := res.Matching.Validate(s); err != nil {
+			t.Fatal(err)
+		}
+		if !res.Matching.Equal(matching.LIC(s, tbl)) {
+			t.Fatal("LID != LIC")
+		}
+	})
+}

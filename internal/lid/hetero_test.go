@@ -1,0 +1,177 @@
+package lid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"overlaymatch/internal/gen"
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/matching"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/rng"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+)
+
+// heteroSystem builds a workload with per-node random quotas in
+// [1, deg] — the general §2 model rather than the uniform-b special
+// case most other tests use.
+func heteroSystem(tb testing.TB, seed uint64, n int, p float64) *pref.System {
+	tb.Helper()
+	src := rng.New(seed)
+	g := gen.GNP(src, n, p)
+	qsrc := src.Split()
+	quota := func(i graph.NodeID) int {
+		d := g.Degree(i)
+		if d == 0 {
+			return 0
+		}
+		return qsrc.Intn(d) + 1
+	}
+	s, err := pref.Build(g, pref.NewRandomMetric(src.Split()), quota)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func TestLIDHeterogeneousQuotas(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		s := heteroSystem(t, seed, int(nRaw)%20+4, 0.4)
+		tbl := satisfaction.NewTable(s)
+		res, err := RunEvent(s, tbl, simnet.Options{
+			Seed:    seed + 5,
+			Latency: simnet.ExponentialLatency(4),
+		})
+		if err != nil {
+			return false
+		}
+		if res.Matching.Validate(s) != nil {
+			return false
+		}
+		return res.Matching.Equal(matching.LIC(s, tbl))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLIDDegreeFractionQuotas(t *testing.T) {
+	// Hub-heavy graph with proportional quotas: the hub wants many
+	// connections, leaves want one.
+	src := rng.New(4)
+	g := gen.BarabasiAlbert(src, 60, 2)
+	s, err := pref.Build(g, pref.NewRandomMetric(src.Split()), pref.DegreeFractionQuota(g, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := satisfaction.NewTable(s)
+	res, err := RunEvent(s, tbl, simnet.Options{Seed: 8, Latency: simnet.ExponentialLatency(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matching.Equal(matching.LIC(s, tbl)) {
+		t.Fatal("heterogeneous-quota LID != LIC")
+	}
+	if err := res.Matching.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLIDQuotaEqualsDegree(t *testing.T) {
+	// With bi = deg(i) everywhere, every edge is mutually wanted and
+	// LID must lock the entire edge set in one round.
+	src := rng.New(6)
+	g := gen.GNP(src, 25, 0.3)
+	s, err := pref.Build(g, pref.NewRandomMetric(src.Split()),
+		func(i graph.NodeID) int { return g.Degree(i) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := satisfaction.NewTable(s)
+	res, err := RunEvent(s, tbl, simnet.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matching.Size() != g.NumEdges() {
+		t.Fatalf("locked %d of %d edges", res.Matching.Size(), g.NumEdges())
+	}
+	if res.RejMessages != 0 {
+		t.Fatalf("full-quota run sent %d REJ messages", res.RejMessages)
+	}
+	if res.Stats.FinalTime != 1 {
+		t.Fatalf("full-quota run took %v rounds, want 1", res.Stats.FinalTime)
+	}
+	// Everyone fully satisfied: top-bi = whole list.
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Degree(i) == 0 {
+			continue
+		}
+		if sat := satisfaction.Value(s, i, res.Matching.Connections(i)); sat < 1-1e-9 {
+			t.Fatalf("node %d satisfaction %v, want 1", i, sat)
+		}
+	}
+}
+
+func TestLIDMultiComponentGraph(t *testing.T) {
+	// Two disconnected communities run as one overlay; the protocol in
+	// each component must be oblivious to the other.
+	b := graph.NewBuilder(12)
+	// Component A: complete on 0..5. Component B: ring on 6..11.
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	for u := 6; u < 12; u++ {
+		b.AddEdge(u, 6+((u-6+1)%6))
+	}
+	g := b.MustGraph()
+	src := rng.New(11)
+	s, err := pref.Build(g, pref.NewRandomMetric(src), pref.UniformQuota(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := satisfaction.NewTable(s)
+	res, err := RunEvent(s, tbl, simnet.Options{Seed: 2, Latency: simnet.ExponentialLatency(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matching.Equal(matching.LIC(s, tbl)) {
+		t.Fatal("multi-component LID != LIC")
+	}
+	for _, e := range res.Matching.Edges() {
+		if (e.U < 6) != (e.V < 6) {
+			t.Fatalf("cross-component connection %v", e)
+		}
+	}
+}
+
+func TestLIDCompleteBipartiteContention(t *testing.T) {
+	// K_{2,8} with b=2 for the left side and b=1 for the right: a
+	// two-sided market. Total connections are limited by the left's
+	// quota (4), and LID must fill it exactly.
+	g := gen.CompleteBipartite(2, 8)
+	src := rng.New(13)
+	s, err := pref.Build(g, pref.NewRandomMetric(src),
+		func(i graph.NodeID) int {
+			if i < 2 {
+				return 2
+			}
+			return 1
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := satisfaction.NewTable(s)
+	res, err := RunEvent(s, tbl, simnet.Options{Seed: 3, Latency: simnet.ExponentialLatency(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matching.Size() != 4 {
+		t.Fatalf("locked %d connections, want 4", res.Matching.Size())
+	}
+	if res.Matching.DegreeOf(0) != 2 || res.Matching.DegreeOf(1) != 2 {
+		t.Fatal("left side under-filled")
+	}
+}

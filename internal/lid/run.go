@@ -1,0 +1,59 @@
+package lid
+
+import (
+	"time"
+
+	"overlaymatch/internal/matching"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+)
+
+// Result bundles the outcome of one LID execution.
+type Result struct {
+	Matching *matching.Matching
+	Stats    simnet.Stats
+	// PropMessages and RejMessages break down the message count.
+	PropMessages int
+	RejMessages  int
+}
+
+// RunEvent executes LID on the deterministic event simulator with the
+// given options. The returned error is non-nil only on protocol
+// failure (non-termination or asymmetric locks), which Lemma 5 and the
+// mutual-PROP argument exclude — tests treat an error as a bug.
+func RunEvent(s *pref.System, tbl *satisfaction.Table, opts simnet.Options) (Result, error) {
+	nodes := NewNodes(s, tbl)
+	runner := simnet.NewRunner(s.Graph().NumNodes(), opts)
+	stats, err := runner.Run(Handlers(nodes))
+	if err != nil {
+		return Result{Stats: stats}, err
+	}
+	return finish(nodes, stats)
+}
+
+// RunGoroutines executes LID with one real goroutine per peer. The
+// interleaving is up to the Go scheduler; the outcome must still be
+// the unique LIC matching.
+func RunGoroutines(s *pref.System, tbl *satisfaction.Table, timeout time.Duration) (Result, error) {
+	nodes := NewNodes(s, tbl)
+	runner := simnet.NewGoRunner(s.Graph().NumNodes(), timeout)
+	stats, err := runner.Run(Handlers(nodes))
+	if err != nil {
+		return Result{Stats: stats}, err
+	}
+	return finish(nodes, stats)
+}
+
+func finish(nodes []*Node, stats simnet.Stats) (Result, error) {
+	m, err := BuildMatching(nodes)
+	if err != nil {
+		return Result{Stats: stats}, err
+	}
+	return Result{
+		Matching:     m,
+		Stats:        stats,
+		PropMessages: stats.SentByKind["PROP"],
+		RejMessages:  stats.SentByKind["REJ"],
+	}, nil
+}

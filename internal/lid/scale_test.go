@@ -1,0 +1,58 @@
+package lid
+
+import (
+	"testing"
+
+	"overlaymatch/internal/gen"
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/matching"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/rng"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+)
+
+// TestLargeScale is the soak test: a 20k-peer overlay (~80k potential
+// links) through the full pipeline — parallel preference construction,
+// weight table, event-driven LID, equivalence with LIC, satisfaction
+// evaluation. Guarded by -short; takes a few hundred ms.
+func TestLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale soak test")
+	}
+	const n = 20000
+	src := rng.New(42)
+	g := gen.GNP(src, n, 8.0/float64(n-1))
+	s, err := pref.BuildParallel(g,
+		pref.MetricFunc(func(i, j graph.NodeID) float64 {
+			return float64((uint64(i)*2654435761 + uint64(j)*0x9e3779b9) % 1000003)
+		}),
+		pref.UniformQuota(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := satisfaction.NewTable(s)
+	res, err := RunEvent(s, tbl, simnet.Options{
+		Seed:    7,
+		Latency: simnet.ExponentialLatency(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Matching.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	want := matching.LIC(s, tbl)
+	if !res.Matching.Equal(want) {
+		t.Fatal("20k-peer LID != LIC")
+	}
+	if res.Stats.TotalSent() > 2*g.NumEdges() {
+		t.Fatalf("message bound violated: %d > 2*%d", res.Stats.TotalSent(), g.NumEdges())
+	}
+	total := res.Matching.TotalSatisfaction(s)
+	if total <= 0 || total > float64(n) {
+		t.Fatalf("implausible total satisfaction %v", total)
+	}
+	t.Logf("n=%d m=%d: %d connections, %d messages, %.1f rounds, total satisfaction %.0f",
+		n, g.NumEdges(), res.Matching.Size(), res.Stats.TotalSent(), res.Stats.FinalTime, total)
+}

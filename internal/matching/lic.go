@@ -1,0 +1,114 @@
+package matching
+
+import (
+	"slices"
+	"sort"
+
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/rng"
+	"overlaymatch/internal/satisfaction"
+)
+
+// LIC runs Algorithm 2 (Local Information-based Centralized) in its
+// efficient sorted-scan form: edges are visited in decreasing weight
+// order (the shared strict total order of satisfaction.WeightKey) and
+// selected whenever both endpoints still have quota. By Lemma 6 the
+// outcome of the literal "take any locally heaviest edge" loop is
+// order-independent, and the descending scan is one valid such order,
+// so this computes exactly the LIC (and hence LID, Lemmas 3–4)
+// matching in O(m log m).
+func LIC(s *pref.System, tbl *satisfaction.Table) *Matching {
+	g := s.Graph()
+	keys := make([]satisfaction.WeightKey, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		keys = append(keys, tbl.Key(e.U, e.V))
+	}
+	slices.SortFunc(keys, func(a, b satisfaction.WeightKey) int {
+		if a.Heavier(b) {
+			return -1
+		}
+		return 1
+	})
+	counter := make([]int, g.NumNodes())
+	for i := range counter {
+		counter[i] = s.Quota(i)
+	}
+	m := New(g.NumNodes())
+	for _, k := range keys {
+		e := k.Edge()
+		if counter[e.U] > 0 && counter[e.V] > 0 {
+			m.Add(e.U, e.V)
+			counter[e.U]--
+			counter[e.V]--
+		}
+	}
+	return m
+}
+
+// LICLiteral runs Algorithm 2 exactly as printed: maintain the edge
+// pool P, repeatedly take *a* locally heaviest edge (chosen uniformly
+// at random among all currently locally heaviest ones, driven by src),
+// add it to the matching, decrement the endpoint counters, and drop all
+// edges of saturated nodes. It is O(m²) and exists to witness Lemma 6:
+// for any selection order the outcome equals LIC's.
+func LICLiteral(s *pref.System, tbl *satisfaction.Table, src *rng.Source) *Matching {
+	g := s.Graph()
+	pool := make(map[graph.Edge]struct{}, g.NumEdges())
+	for _, e := range g.Edges() {
+		pool[e] = struct{}{}
+	}
+	counter := make([]int, g.NumNodes())
+	for i := range counter {
+		counter[i] = s.Quota(i)
+	}
+	m := New(g.NumNodes())
+	for len(pool) > 0 {
+		// Collect all currently locally heaviest edges: heavier than
+		// every other pool edge sharing an endpoint.
+		candidates := locallyHeaviest(pool, tbl)
+		e := candidates[src.Intn(len(candidates))]
+		m.Add(e.U, e.V)
+		delete(pool, e)
+		counter[e.U]--
+		counter[e.V]--
+		for _, x := range []graph.NodeID{e.U, e.V} {
+			if counter[x] == 0 {
+				for _, nb := range g.Neighbors(x) {
+					delete(pool, graph.Edge{U: x, V: nb}.Normalize())
+				}
+			}
+		}
+	}
+	return m
+}
+
+// locallyHeaviest returns the pool edges that are heavier than every
+// other pool edge sharing an endpoint (condition 3 over the set Eij of
+// eq. 13 restricted to the current pool).
+func locallyHeaviest(pool map[graph.Edge]struct{}, tbl *satisfaction.Table) []graph.Edge {
+	// heaviestAt[x] = the heaviest pool edge incident to node x.
+	heaviestAt := make(map[graph.NodeID]satisfaction.WeightKey)
+	for e := range pool {
+		k := tbl.Key(e.U, e.V)
+		for _, x := range []graph.NodeID{e.U, e.V} {
+			if best, ok := heaviestAt[x]; !ok || k.Heavier(best) {
+				heaviestAt[x] = k
+			}
+		}
+	}
+	var out []graph.Edge
+	for e := range pool {
+		k := tbl.Key(e.U, e.V)
+		if heaviestAt[e.U] == k && heaviestAt[e.V] == k {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}

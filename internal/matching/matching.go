@@ -1,0 +1,203 @@
+// Package matching implements many-to-many matchings on preference
+// systems: the Matching container with the paper's feasibility
+// constraints (§2: at most bi connections per node, only graph edges),
+// the centralized LIC algorithm (§6, Algorithm 2) in both its
+// literal locally-heaviest form and the equivalent sorted-scan form,
+// exact branch-and-bound oracles for the maximum-weight and
+// maximum-satisfaction objectives (the OPT comparators of Theorems 2
+// and 3), and the baseline strategies the experiment suite compares
+// against.
+package matching
+
+import (
+	"fmt"
+	"sort"
+
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/satisfaction"
+)
+
+// Matching is a set of selected edges ("connections") over a graph,
+// tracked per node. The zero value is unusable; use New.
+type Matching struct {
+	n     int
+	conns [][]graph.NodeID
+	edges map[graph.Edge]struct{}
+}
+
+// New returns an empty matching over n nodes.
+func New(n int) *Matching {
+	return &Matching{
+		n:     n,
+		conns: make([][]graph.NodeID, n),
+		edges: make(map[graph.Edge]struct{}),
+	}
+}
+
+// NumNodes returns the number of nodes the matching ranges over.
+func (m *Matching) NumNodes() int { return m.n }
+
+// Size returns the number of selected edges.
+func (m *Matching) Size() int { return len(m.edges) }
+
+// Has reports whether edge {u,v} is selected.
+func (m *Matching) Has(u, v graph.NodeID) bool {
+	_, ok := m.edges[graph.Edge{U: u, V: v}.Normalize()]
+	return ok
+}
+
+// Add selects edge {u,v}. It panics on self loops, out-of-range nodes,
+// or already-selected edges: algorithms are expected to know what they
+// add.
+func (m *Matching) Add(u, v graph.NodeID) {
+	if u < 0 || u >= m.n || v < 0 || v >= m.n {
+		panic(fmt.Sprintf("matching: edge (%d,%d) out of range [0,%d)", u, v, m.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("matching: self loop at %d", u))
+	}
+	e := graph.Edge{U: u, V: v}.Normalize()
+	if _, dup := m.edges[e]; dup {
+		panic(fmt.Sprintf("matching: edge %v selected twice", e))
+	}
+	m.edges[e] = struct{}{}
+	m.conns[u] = append(m.conns[u], v)
+	m.conns[v] = append(m.conns[v], u)
+}
+
+// Remove deselects edge {u,v}. It panics if the edge is not selected.
+func (m *Matching) Remove(u, v graph.NodeID) {
+	e := graph.Edge{U: u, V: v}.Normalize()
+	if _, ok := m.edges[e]; !ok {
+		panic(fmt.Sprintf("matching: removing unselected edge %v", e))
+	}
+	delete(m.edges, e)
+	m.conns[u] = removeOne(m.conns[u], v)
+	m.conns[v] = removeOne(m.conns[v], u)
+}
+
+func removeOne(s []graph.NodeID, x graph.NodeID) []graph.NodeID {
+	for i, v := range s {
+		if v == x {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	panic(fmt.Sprintf("matching: connection list inconsistent, %d missing", x))
+}
+
+// Connections returns the nodes matched to i, sorted ascending. The
+// result is freshly allocated.
+func (m *Matching) Connections(i graph.NodeID) []graph.NodeID {
+	out := append([]graph.NodeID(nil), m.conns[i]...)
+	sort.Ints(out)
+	return out
+}
+
+// DegreeOf returns the number of connections node i holds (ci).
+func (m *Matching) DegreeOf(i graph.NodeID) int { return len(m.conns[i]) }
+
+// Edges returns the selected edges in canonical sorted order.
+func (m *Matching) Edges() []graph.Edge {
+	out := make([]graph.Edge, 0, len(m.edges))
+	for e := range m.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matching) Clone() *Matching {
+	c := New(m.n)
+	for e := range m.edges {
+		c.Add(e.U, e.V)
+	}
+	return c
+}
+
+// Equal reports whether two matchings select exactly the same edges.
+func (m *Matching) Equal(o *Matching) bool {
+	if m.n != o.n || len(m.edges) != len(o.edges) {
+		return false
+	}
+	for e := range m.edges {
+		if _, ok := o.edges[e]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks feasibility against a preference system: every
+// selected edge must be a graph edge and every node must respect its
+// quota.
+func (m *Matching) Validate(s *pref.System) error {
+	g := s.Graph()
+	if m.n != g.NumNodes() {
+		return fmt.Errorf("matching: %d nodes, graph has %d", m.n, g.NumNodes())
+	}
+	for e := range m.edges {
+		if !g.HasEdge(e.U, e.V) {
+			return fmt.Errorf("matching: selected non-edge %v", e)
+		}
+	}
+	for i := 0; i < m.n; i++ {
+		if len(m.conns[i]) > s.Quota(i) {
+			return fmt.Errorf("matching: node %d has %d connections, quota %d",
+				i, len(m.conns[i]), s.Quota(i))
+		}
+	}
+	return nil
+}
+
+// Weight returns the matching's total eq.-9 weight under system s.
+// Summation follows the canonical edge order so the result is
+// bit-for-bit deterministic across runs.
+func (m *Matching) Weight(s *pref.System) float64 {
+	var w float64
+	for _, e := range m.Edges() {
+		w += satisfaction.EdgeWeight(s, e)
+	}
+	return w
+}
+
+// TotalSatisfaction returns Σi Si (eq. 1) under system s — the
+// objective of the maximizing-satisfaction b-matching problem.
+func (m *Matching) TotalSatisfaction(s *pref.System) float64 {
+	var total float64
+	for i := 0; i < m.n; i++ {
+		total += satisfaction.Value(s, i, m.conns[i])
+	}
+	return total
+}
+
+// TotalModifiedSatisfaction returns Σi S̄i (eq. 6) — the objective of
+// the modified (static-only) problem. By Lemma 2 this equals Weight.
+func (m *Matching) TotalModifiedSatisfaction(s *pref.System) float64 {
+	var total float64
+	for i := 0; i < m.n; i++ {
+		total += satisfaction.ModifiedValue(s, i, m.conns[i])
+	}
+	return total
+}
+
+// PerNodeSatisfaction returns each node's Si (eq. 1).
+func (m *Matching) PerNodeSatisfaction(s *pref.System) []float64 {
+	out := make([]float64, m.n)
+	for i := 0; i < m.n; i++ {
+		out[i] = satisfaction.Value(s, i, m.conns[i])
+	}
+	return out
+}
+
+// String returns e.g. "matching{edges=5}".
+func (m *Matching) String() string {
+	return fmt.Sprintf("matching{edges=%d}", len(m.edges))
+}

@@ -1,0 +1,203 @@
+package matching
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"overlaymatch/internal/gen"
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/rng"
+	"overlaymatch/internal/satisfaction"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+// randomSystem builds a G(n,p) graph with random private preferences
+// and uniform quota b.
+func randomSystem(tb testing.TB, seed uint64, n int, p float64, b int) *pref.System {
+	tb.Helper()
+	src := rng.New(seed)
+	g := gen.GNP(src, n, p)
+	s, err := pref.Build(g, pref.NewRandomMetric(src.Split()), pref.UniformQuota(b))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func TestMatchingAddRemove(t *testing.T) {
+	m := New(4)
+	m.Add(0, 1)
+	m.Add(2, 1)
+	if !m.Has(1, 0) || !m.Has(1, 2) {
+		t.Fatal("Has failed after Add")
+	}
+	if m.Size() != 2 || m.DegreeOf(1) != 2 || m.DegreeOf(3) != 0 {
+		t.Fatal("sizes wrong")
+	}
+	if want := []graph.NodeID{0, 2}; !reflect.DeepEqual(m.Connections(1), want) {
+		t.Fatalf("Connections(1) = %v", m.Connections(1))
+	}
+	m.Remove(1, 0)
+	if m.Has(0, 1) || m.Size() != 1 || m.DegreeOf(1) != 1 {
+		t.Fatal("Remove incomplete")
+	}
+}
+
+func TestMatchingEdgesSorted(t *testing.T) {
+	m := New(5)
+	m.Add(3, 4)
+	m.Add(0, 2)
+	m.Add(1, 0)
+	want := []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 3, V: 4}}
+	if got := m.Edges(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Edges = %v, want %v", got, want)
+	}
+}
+
+func TestMatchingPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"self loop":     func() { New(3).Add(1, 1) },
+		"out of range":  func() { New(3).Add(0, 3) },
+		"negative":      func() { New(3).Add(-1, 0) },
+		"double add":    func() { m := New(3); m.Add(0, 1); m.Add(1, 0) },
+		"remove absent": func() { New(3).Remove(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := New(4)
+	m.Add(0, 1)
+	c := m.Clone()
+	c.Add(2, 3)
+	if m.Has(2, 3) {
+		t.Fatal("Clone shares state")
+	}
+	if !c.Has(0, 1) {
+		t.Fatal("Clone lost edges")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(4), New(4)
+	a.Add(0, 1)
+	b.Add(1, 0)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("orientation should not matter")
+	}
+	b.Add(2, 3)
+	if a.Equal(b) {
+		t.Fatal("different sizes reported equal")
+	}
+	c := New(5)
+	c.Add(0, 1)
+	if a.Equal(c) {
+		t.Fatal("different node counts reported equal")
+	}
+	d := New(4)
+	d.Add(0, 2)
+	a2 := New(4)
+	a2.Add(0, 1)
+	if d.Equal(a2) {
+		t.Fatal("different edges reported equal")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := randomSystem(t, 1, 8, 0.9, 2)
+	g := s.Graph()
+	m := New(g.NumNodes())
+	// Valid: take up to quota edges per node.
+	e := g.Edges()[0]
+	m.Add(e.U, e.V)
+	if err := m.Validate(s); err != nil {
+		t.Fatalf("valid matching rejected: %v", err)
+	}
+	// Non-edge selection.
+	bad := New(g.NumNodes())
+	found := false
+	for u := 0; u < g.NumNodes() && !found; u++ {
+		for v := u + 1; v < g.NumNodes(); v++ {
+			if !g.HasEdge(u, v) {
+				bad.Add(u, v)
+				found = true
+				break
+			}
+		}
+	}
+	if found {
+		if err := bad.Validate(s); err == nil {
+			t.Fatal("non-edge accepted")
+		}
+	}
+	// Quota violation.
+	over := New(g.NumNodes())
+	added := 0
+	for _, nb := range g.Neighbors(0) {
+		over.Add(0, nb)
+		added++
+	}
+	if added > s.Quota(0) {
+		if err := over.Validate(s); err == nil {
+			t.Fatal("quota violation accepted")
+		}
+	}
+	// Node count mismatch.
+	if err := New(3).Validate(s); err == nil {
+		t.Fatal("node count mismatch accepted")
+	}
+}
+
+// TestWeightEqualsModifiedSatisfaction pins Lemma 2's accounting
+// identity: for ANY feasible matching, Σ w(i,j) over selected edges
+// equals Σi S̄i — the regrouping in eq. 12.
+func TestWeightEqualsModifiedSatisfaction(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		s := randomSystem(t, seed, 10, 0.5, 2)
+		src := rng.New(seed ^ 0xff)
+		m := RandomMaximal(s, src)
+		if err := m.Validate(s); err != nil {
+			t.Fatal(err)
+		}
+		if w, ms := m.Weight(s), m.TotalModifiedSatisfaction(s); !almostEqual(w, ms) {
+			t.Fatalf("seed %d: weight %v != modified satisfaction %v", seed, w, ms)
+		}
+	}
+}
+
+func TestTotalSatisfactionMatchesPerNode(t *testing.T) {
+	s := randomSystem(t, 4, 9, 0.6, 2)
+	m := RandomMaximal(s, rng.New(8))
+	per := m.PerNodeSatisfaction(s)
+	var sum float64
+	for _, v := range per {
+		sum += v
+	}
+	if !almostEqual(sum, m.TotalSatisfaction(s)) {
+		t.Fatal("per-node sum disagrees with total")
+	}
+	for i, v := range per {
+		if want := satisfaction.Value(s, i, m.Connections(i)); !almostEqual(v, want) {
+			t.Fatalf("node %d satisfaction %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	m := New(3)
+	m.Add(0, 1)
+	if got := m.String(); got != "matching{edges=1}" {
+		t.Fatalf("String = %q", got)
+	}
+}

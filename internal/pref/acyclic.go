@@ -1,0 +1,114 @@
+package pref
+
+import (
+	"overlaymatch/internal/graph"
+)
+
+// Acyclicity of preference systems, after Gai, Lebedev, Mathieu,
+// de Montgolfier, Reynier, Viennot, "Acyclic preference systems in P2P
+// networks" (Euro-Par 2007) — reference [3] of the paper. A preference
+// system is acyclic when the "prefers" relation it induces on edges has
+// no directed cycle; equivalently, when it can be represented by
+// symmetric edge weights that every node ranks by. Prior work
+// guarantees stabilization of b-matching dynamics only for acyclic
+// systems; the paper's LID needs no such restriction (it synthesizes
+// its own symmetric weights, eq. 9), and the experiment suite uses this
+// test to label workloads.
+
+// edgeIndexer assigns dense indices to canonical edges.
+type edgeIndexer struct {
+	idx map[graph.Edge]int
+	all []graph.Edge
+}
+
+func newEdgeIndexer(g *graph.Graph) *edgeIndexer {
+	ei := &edgeIndexer{idx: make(map[graph.Edge]int, g.NumEdges()), all: g.Edges()}
+	for i, e := range ei.all {
+		ei.idx[e] = i
+	}
+	return ei
+}
+
+func (ei *edgeIndexer) index(u, v graph.NodeID) int {
+	return ei.idx[graph.Edge{U: u, V: v}.Normalize()]
+}
+
+// IsAcyclic reports whether the preference system is acyclic in the
+// Gai et al. sense. It builds the edge-preference digraph — an arc from
+// edge (i, Li[r]) to edge (i, Li[r+1]) for every node i and consecutive
+// rank r (transitive pairs are implied) — and checks it for directed
+// cycles. Runs in O(n + m).
+func IsAcyclic(s *System) bool {
+	return FindPreferenceCycle(s) == nil
+}
+
+// FindPreferenceCycle returns a witness cycle of edges e0, e1, ..., ek-1
+// such that each ei is strictly preferred to e(i+1 mod k) by their
+// shared endpoint, or nil if the system is acyclic. The witness closes
+// on itself (last element precedes the first in the preference order).
+func FindPreferenceCycle(s *System) []graph.Edge {
+	g := s.Graph()
+	ei := newEdgeIndexer(g)
+	m := g.NumEdges()
+	adj := make([][]int, m) // adj[e] = edges directly less preferred than e
+	for i := 0; i < g.NumNodes(); i++ {
+		list := s.List(i)
+		for r := 0; r+1 < len(list); r++ {
+			from := ei.index(i, list[r])
+			to := ei.index(i, list[r+1])
+			adj[from] = append(adj[from], to)
+		}
+	}
+	// Iterative DFS with colors; record the stack to extract a witness.
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := make([]int8, m)
+	parent := make([]int, m)
+	for i := range parent {
+		parent[i] = -1
+	}
+	for start := 0; start < m; start++ {
+		if color[start] != white {
+			continue
+		}
+		type frame struct {
+			node, next int
+		}
+		stack := []frame{{start, 0}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.node]) {
+				child := adj[f.node][f.next]
+				f.next++
+				switch color[child] {
+				case white:
+					color[child] = gray
+					parent[child] = f.node
+					stack = append(stack, frame{child, 0})
+				case gray:
+					// Found a cycle: walk parents from f.node back to child.
+					var rev []int
+					for x := f.node; ; x = parent[x] {
+						rev = append(rev, x)
+						if x == child {
+							break
+						}
+					}
+					cycle := make([]graph.Edge, 0, len(rev))
+					for k := len(rev) - 1; k >= 0; k-- {
+						cycle = append(cycle, ei.all[rev[k]])
+					}
+					return cycle
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package pref
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON: the workload parser must never panic on arbitrary
+// input; anything it accepts must validate and round-trip.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"graph":{"n":3,"edges":[[0,1],[1,2]]},"lists":[[1],[0,2],[1]],"quotas":[1,2,1]}`)
+	f.Add(`{"graph":{"n":0,"edges":[]},"lists":[],"quotas":[]}`)
+	f.Add(`{}`)
+	f.Add(`{"graph":{"n":2,"edges":[[0,1]]},"lists":[[1],[5]],"quotas":[1,1]}`)
+	f.Add(`not json at all`)
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted workload fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, s); err != nil {
+			t.Fatalf("serializing accepted workload: %v", err)
+		}
+		s2, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("reparsing own output: %v", err)
+		}
+		for i := 0; i < s.Graph().NumNodes(); i++ {
+			if !reflect.DeepEqual(s2.List(i), s.List(i)) || s2.Quota(i) != s.Quota(i) {
+				t.Fatal("round trip changed the workload")
+			}
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package pref
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"overlaymatch/internal/graph"
+)
+
+// Workload file support: a System (graph + preference lists + quotas)
+// serializes to a single JSON document so experiments can be re-run on
+// frozen inputs and results audited. Wire form:
+//
+//	{
+//	  "graph":  {"n": 4, "edges": [[0,1],[1,2]]},
+//	  "lists":  [[1],[0,2],[1],[]],
+//	  "quotas": [1,2,1,0]
+//	}
+
+type jsonSystem struct {
+	Graph  *graph.Graph     `json:"graph"`
+	Lists  [][]graph.NodeID `json:"lists"`
+	Quotas []int            `json:"quotas"`
+}
+
+// WriteJSON serializes the system.
+func WriteJSON(w io.Writer, s *System) error {
+	doc := jsonSystem{
+		Graph:  s.g,
+		Lists:  s.lists,
+		Quotas: s.quota,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses and validates a serialized system.
+func ReadJSON(r io.Reader) (*System, error) {
+	var doc jsonSystem
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("pref: decoding workload: %w", err)
+	}
+	if doc.Graph == nil {
+		return nil, fmt.Errorf("pref: workload missing graph")
+	}
+	s, err := FromRanks(doc.Graph, doc.Lists, doc.Quotas)
+	if err != nil {
+		return nil, fmt.Errorf("pref: invalid workload: %w", err)
+	}
+	return s, nil
+}

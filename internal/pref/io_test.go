@@ -1,0 +1,79 @@
+package pref
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"overlaymatch/internal/gen"
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/rng"
+)
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%20 + 2
+		src := rng.New(seed)
+		g := gen.GNP(src, n, 0.4)
+		s, err := Build(g, NewRandomMetric(src.Split()), UniformQuota(2))
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, s); err != nil {
+			return false
+		}
+		s2, err := ReadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		if s2.Graph().NumNodes() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !reflect.DeepEqual(s2.List(i), s.List(i)) || s2.Quota(i) != s.Quota(i) {
+				return false
+			}
+		}
+		return s2.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadWireFormat(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	s, err := FromRanks(g, [][]graph.NodeID{{1}, {2, 0}, {1}}, []int{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"graph"`, `"edges":[[0,1],[1,2]]`, `"lists":[[1],[2,0],[1]]`, `"quotas":[1,2,1]`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("wire format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `{`,
+		"missing graph":  `{"lists":[],"quotas":[]}`,
+		"bad list":       `{"graph":{"n":2,"edges":[[0,1]]},"lists":[[1],[5]],"quotas":[1,1]}`,
+		"short lists":    `{"graph":{"n":2,"edges":[[0,1]]},"lists":[[1]],"quotas":[1]}`,
+		"inconsistent":   `{"graph":{"n":2,"edges":[[0,1]]},"lists":[[1],[0,0]],"quotas":[1,1]}`,
+		"self loop edge": `{"graph":{"n":2,"edges":[[1,1]]},"lists":[[],[]],"quotas":[0,0]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

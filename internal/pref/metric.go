@@ -1,0 +1,168 @@
+package pref
+
+import (
+	"fmt"
+	"math"
+
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/rng"
+)
+
+// Metric scores how suitable neighbor j looks to node i; higher is more
+// desirable. Score is evaluated once per directed neighbor pair when a
+// System is built, so implementations may be slow but must be
+// deterministic for the lifetime of the build. A Metric models the
+// node's private suitability function from the paper's introduction:
+// nothing outside the node ever sees the scores, only the resulting
+// ranks enter the protocol (via satisfaction increases).
+type Metric interface {
+	Score(i, j graph.NodeID) float64
+}
+
+// MetricFunc adapts a plain function to the Metric interface.
+type MetricFunc func(i, j graph.NodeID) float64
+
+// Score implements Metric.
+func (f MetricFunc) Score(i, j graph.NodeID) float64 { return f(i, j) }
+
+// DistanceMetric prefers nearby nodes: score is the negated Euclidean
+// distance between stored coordinates. It models latency-driven
+// preferences (e.g. the coordinates returned by gen.Geometric).
+type DistanceMetric struct {
+	Coords [][2]float64
+}
+
+// Score implements Metric.
+func (m DistanceMetric) Score(i, j graph.NodeID) float64 {
+	dx := m.Coords[i][0] - m.Coords[j][0]
+	dy := m.Coords[i][1] - m.Coords[j][1]
+	return -math.Sqrt(dx*dx + dy*dy)
+}
+
+// InterestMetric prefers nodes with similar interest vectors: score is
+// the cosine similarity of the two nodes' interest vectors. It models
+// content/interest-driven overlays. Zero vectors score 0 against
+// everything.
+type InterestMetric struct {
+	Interests [][]float64
+}
+
+// Score implements Metric.
+func (m InterestMetric) Score(i, j graph.NodeID) float64 {
+	a, b := m.Interests[i], m.Interests[j]
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("pref: interest vectors of %d and %d have different lengths", i, j))
+	}
+	var dot, na, nb float64
+	for k := range a {
+		dot += a[k] * b[k]
+		na += a[k] * a[k]
+		nb += b[k] * b[k]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// ResourceMetric prefers well-provisioned nodes: score is the target's
+// advertised capacity (bandwidth, storage, compute). Every node ranks
+// by the same capacities, which yields a globally acyclic preference
+// system — the regime of Gai et al. [3].
+type ResourceMetric struct {
+	Capacity []float64
+}
+
+// Score implements Metric.
+func (m ResourceMetric) Score(_, j graph.NodeID) float64 { return m.Capacity[j] }
+
+// TransactionMetric prefers nodes with a good past-interaction balance:
+// score is History[i][j] (e.g. bytes served minus bytes taken, or a
+// reputation/recommendation score). Asymmetric by nature, so it readily
+// produces the cyclic preference relations that break stabilization in
+// prior work.
+type TransactionMetric struct {
+	History [][]float64
+}
+
+// Score implements Metric.
+func (m TransactionMetric) Score(i, j graph.NodeID) float64 { return m.History[i][j] }
+
+// RandomMetric gives every directed pair an independent uniform score,
+// the harshest stress test for cyclic preferences. Scores are drawn
+// lazily and memoized so a Metric value is deterministic.
+type RandomMetric struct {
+	src   *rng.Source
+	cache map[[2]graph.NodeID]float64
+}
+
+// NewRandomMetric returns a RandomMetric drawing from src.
+func NewRandomMetric(src *rng.Source) *RandomMetric {
+	return &RandomMetric{src: src, cache: make(map[[2]graph.NodeID]float64)}
+}
+
+// Score implements Metric.
+func (m *RandomMetric) Score(i, j graph.NodeID) float64 {
+	k := [2]graph.NodeID{i, j}
+	if v, ok := m.cache[k]; ok {
+		return v
+	}
+	v := m.src.Float64()
+	m.cache[k] = v
+	return v
+}
+
+// SymmetricRandomMetric is RandomMetric with symmetric scores
+// (score(i,j) = score(j,i)), modelling shared pairwise affinity such as
+// measured round-trip time. Symmetric scores make the preference
+// system acyclic in the pairwise sense of Gai et al. [3].
+type SymmetricRandomMetric struct {
+	src   *rng.Source
+	cache map[graph.Edge]float64
+}
+
+// NewSymmetricRandomMetric returns a SymmetricRandomMetric drawing from src.
+func NewSymmetricRandomMetric(src *rng.Source) *SymmetricRandomMetric {
+	return &SymmetricRandomMetric{src: src, cache: make(map[graph.Edge]float64)}
+}
+
+// Score implements Metric.
+func (m *SymmetricRandomMetric) Score(i, j graph.NodeID) float64 {
+	k := graph.Edge{U: i, V: j}.Normalize()
+	if v, ok := m.cache[k]; ok {
+		return v
+	}
+	v := m.src.Float64()
+	m.cache[k] = v
+	return v
+}
+
+// CompositeMetric blends several metrics with non-negative weights,
+// modelling a peer that scores neighbors by, say, 0.7·distance +
+// 0.3·reputation.
+type CompositeMetric struct {
+	Metrics []Metric
+	Weights []float64
+}
+
+// Score implements Metric.
+func (m CompositeMetric) Score(i, j graph.NodeID) float64 {
+	if len(m.Metrics) != len(m.Weights) {
+		panic("pref: CompositeMetric with mismatched metrics and weights")
+	}
+	var s float64
+	for k, sub := range m.Metrics {
+		s += m.Weights[k] * sub.Score(i, j)
+	}
+	return s
+}
+
+// PerNodeMetric gives each node its own private metric, the fully
+// heterogeneous scenario of the paper's introduction where "every peer
+// may follow an individually chosen metric".
+type PerNodeMetric struct {
+	ByNode []Metric
+}
+
+// Score implements Metric.
+func (m PerNodeMetric) Score(i, j graph.NodeID) float64 { return m.ByNode[i].Score(i, j) }

@@ -1,0 +1,233 @@
+// Package reliable implements the transport substrate the paper
+// implicitly assumes: reliable delivery between neighbors. The paper's
+// model (§5) takes lossless asynchronous links as given; real overlay
+// links (UDP, unstable TCP peers) drop messages. This package restores
+// the assumption on top of a lossy network with the classic
+// positive-acknowledgment scheme:
+//
+//   - every protocol message is wrapped in a sequenced DATA frame;
+//   - the receiver acks every DATA frame (including duplicates, since
+//     the duplicate means the ack was lost);
+//   - the sender retransmits unacked frames on a timer until acked;
+//   - the receiver deduplicates by (sender, seq), so the inner
+//     protocol sees exactly-once delivery.
+//
+// An Endpoint wraps any simnet.Handler; local termination is deferred
+// until the inner protocol has halted AND every frame this endpoint
+// sent has been acknowledged, so global quiescence still certifies
+// protocol termination. Experiment E11 runs LID through Endpoints over
+// 0–50% loss and checks the outcome still equals LIC.
+package reliable
+
+import (
+	"fmt"
+
+	"overlaymatch/internal/simnet"
+)
+
+// dataMsg is a sequenced frame carrying one inner protocol message.
+type dataMsg struct {
+	Seq     uint32
+	Payload simnet.Message
+}
+
+// Kind reports the payload's kind so per-kind statistics keep counting
+// protocol messages (retransmissions included — that is the point).
+func (m dataMsg) Kind() string { return simnet.KindOf(m.Payload) }
+
+// ackMsg acknowledges one DATA frame.
+type ackMsg struct {
+	Seq uint32
+}
+
+// Kind implements simnet.Kinder.
+func (ackMsg) Kind() string { return "ACK" }
+
+// retransmitToken is the Endpoint's private timer token.
+type retransmitToken struct {
+	To  int
+	Seq uint32
+}
+
+type frameKey struct {
+	to  int
+	seq uint32
+}
+
+// Endpoint wraps an inner protocol handler with reliable delivery.
+type Endpoint struct {
+	inner      simnet.Handler
+	rto        float64
+	maxRetries int // 0 = retry forever
+
+	nextSeq   map[int]uint32
+	unacked   map[frameKey]simnet.Message
+	attempts  map[frameKey]int
+	delivered map[int]map[uint32]bool
+
+	innerHalted bool
+	realHalted  bool
+	abandoned   int // frames given up after maxRetries
+
+	// Counters for the experiments.
+	retransmits int
+	duplicates  int
+}
+
+// NewEndpoint wraps inner. rto is the retransmission timeout in
+// virtual time units (must exceed the typical round trip to avoid
+// spurious retransmissions; correctness does not depend on it).
+// maxRetries bounds retransmissions per frame (0 = unlimited, the
+// default the paper's model needs).
+func NewEndpoint(inner simnet.Handler, rto float64, maxRetries int) *Endpoint {
+	if rto <= 0 {
+		panic("reliable: rto must be positive")
+	}
+	return &Endpoint{
+		inner:      inner,
+		rto:        rto,
+		maxRetries: maxRetries,
+		nextSeq:    make(map[int]uint32),
+		unacked:    make(map[frameKey]simnet.Message),
+		attempts:   make(map[frameKey]int),
+		delivered:  make(map[int]map[uint32]bool),
+	}
+}
+
+// Retransmits returns the number of retransmitted frames.
+func (e *Endpoint) Retransmits() int { return e.retransmits }
+
+// Duplicates returns the number of duplicate frames suppressed.
+func (e *Endpoint) Duplicates() int { return e.duplicates }
+
+// Abandoned returns the number of frames dropped after maxRetries.
+func (e *Endpoint) Abandoned() int { return e.abandoned }
+
+// relCtx is the context handed to the inner protocol: sends become
+// sequenced frames, Halt is deferred until all frames are acked.
+type relCtx struct {
+	e   *Endpoint
+	ctx simnet.Context
+}
+
+func (c *relCtx) ID() int       { return c.ctx.ID() }
+func (c *relCtx) Time() float64 { return c.ctx.Time() }
+
+func (c *relCtx) Send(to int, msg simnet.Message) {
+	e := c.e
+	seq := e.nextSeq[to]
+	e.nextSeq[to] = seq + 1
+	k := frameKey{to: to, seq: seq}
+	e.unacked[k] = msg
+	e.attempts[k] = 1
+	c.ctx.Send(to, dataMsg{Seq: seq, Payload: msg})
+	simnet.SetTimerOn(c.ctx, e.rto, retransmitToken{To: to, Seq: seq})
+}
+
+func (c *relCtx) Halt() {
+	c.e.innerHalted = true
+	c.e.maybeHalt(c.ctx)
+}
+
+// SetTimer passes inner-protocol timers straight through.
+func (c *relCtx) SetTimer(delay float64, msg simnet.Message) {
+	simnet.SetTimerOn(c.ctx, delay, msg)
+}
+
+func (e *Endpoint) maybeHalt(ctx simnet.Context) {
+	if e.innerHalted && len(e.unacked) == 0 && !e.realHalted {
+		e.realHalted = true
+		ctx.Halt()
+	}
+}
+
+// Init implements simnet.Handler.
+func (e *Endpoint) Init(ctx simnet.Context) {
+	e.inner.Init(&relCtx{e: e, ctx: ctx})
+	e.maybeHalt(ctx)
+}
+
+// HandleMessage implements simnet.Handler.
+func (e *Endpoint) HandleMessage(ctx simnet.Context, from int, msg simnet.Message) {
+	switch m := msg.(type) {
+	case retransmitToken:
+		if from != ctx.ID() {
+			panic(fmt.Sprintf("reliable: retransmit token from foreign node %d", from))
+		}
+		k := frameKey{to: m.To, seq: m.Seq}
+		payload, pending := e.unacked[k]
+		if !pending {
+			return // acked in the meantime
+		}
+		if e.maxRetries > 0 && e.attempts[k] > e.maxRetries {
+			delete(e.unacked, k)
+			delete(e.attempts, k)
+			e.abandoned++
+			e.maybeHalt(ctx)
+			return
+		}
+		e.attempts[k]++
+		e.retransmits++
+		ctx.Send(m.To, dataMsg{Seq: m.Seq, Payload: payload})
+		simnet.SetTimerOn(ctx, e.rto, retransmitToken{To: m.To, Seq: m.Seq})
+	case dataMsg:
+		// Always ack: a duplicate means our previous ack was lost.
+		ctx.Send(from, ackMsg{Seq: m.Seq})
+		seen := e.delivered[from]
+		if seen == nil {
+			seen = make(map[uint32]bool)
+			e.delivered[from] = seen
+		}
+		if seen[m.Seq] {
+			e.duplicates++
+			return
+		}
+		seen[m.Seq] = true
+		e.inner.HandleMessage(&relCtx{e: e, ctx: ctx}, from, m.Payload)
+		e.maybeHalt(ctx)
+	case ackMsg:
+		delete(e.unacked, frameKey{to: from, seq: m.Seq})
+		delete(e.attempts, frameKey{to: from, seq: m.Seq})
+		e.maybeHalt(ctx)
+	default:
+		// Inner-protocol timer token or other self-delivery.
+		e.inner.HandleMessage(&relCtx{e: e, ctx: ctx}, from, msg)
+		e.maybeHalt(ctx)
+	}
+}
+
+// Wrap builds one Endpoint per handler with shared parameters.
+func Wrap(handlers []simnet.Handler, rto float64, maxRetries int) []*Endpoint {
+	out := make([]*Endpoint, len(handlers))
+	for i, h := range handlers {
+		out[i] = NewEndpoint(h, rto, maxRetries)
+	}
+	return out
+}
+
+// Handlers converts endpoints to the simnet.Handler slice.
+func Handlers(endpoints []*Endpoint) []simnet.Handler {
+	out := make([]simnet.Handler, len(endpoints))
+	for i, e := range endpoints {
+		out[i] = e
+	}
+	return out
+}
+
+// TotalRetransmits sums retransmissions across endpoints.
+func TotalRetransmits(endpoints []*Endpoint) int {
+	total := 0
+	for _, e := range endpoints {
+		total += e.retransmits
+	}
+	return total
+}
+
+// TotalDuplicates sums suppressed duplicates across endpoints.
+func TotalDuplicates(endpoints []*Endpoint) int {
+	total := 0
+	for _, e := range endpoints {
+		total += e.duplicates
+	}
+	return total
+}

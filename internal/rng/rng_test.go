@@ -1,0 +1,340 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestStreamFrozen pins the first values of the seed-1 stream so that a
+// behavioural change in the generator (which would silently change every
+// experiment in the repository) fails loudly.
+func TestStreamFrozen(t *testing.T) {
+	s := New(1)
+	want := []uint64{
+		0x910a2dec89025cc1,
+		0xbeeb8da1658eec67,
+		0xf893a2eefb32555e,
+		0x71c18690ee42c90b,
+	}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("seed-1 stream value %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("consecutive Splits produced identical first values")
+	}
+	// Split must be deterministic: re-derive and compare.
+	parent2 := New(7)
+	d1 := parent2.Split()
+	d1v := d1.Uint64()
+	c1b := New(7).Split()
+	if c1b.Uint64() != d1v {
+		t.Fatal("Split is not deterministic")
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	s := New(3)
+	for _, n := range []uint64{1, 2, 3, 7, 64, 1000, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := s.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(0).Uint64n(0)
+}
+
+func TestIntnUniformityChiSquare(t *testing.T) {
+	// Coarse uniformity: chi-square over 10 buckets, 100k draws.
+	// 99.9th percentile of chi2 with 9 dof is ~27.9.
+	s := New(99)
+	const buckets, draws = 10, 100000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 27.9 {
+		t.Fatalf("chi-square = %.2f, suggests non-uniform Intn", chi2)
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(-5, 5)
+		if v < -5 || v >= 5 {
+			t.Fatalf("IntRange(-5,5) = %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(17)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64 negative: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		p := New(seed).Perm(int(n))
+		if len(p) != int(n) {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermShuffles(t *testing.T) {
+	// With n=50 the identity permutation is essentially impossible.
+	p := New(21).Perm(50)
+	identity := true
+	for i, v := range p {
+		if v != i {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		t.Fatal("Perm(50) returned the identity permutation")
+	}
+}
+
+func TestSampleDistinctAndInRange(t *testing.T) {
+	check := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%60 + 1
+		k := int(kRaw) % (n + 1)
+		out := New(seed).Sample(n, k)
+		if len(out) != k {
+			return false
+		}
+		seen := make(map[int]bool, k)
+		for _, v := range out {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(3, 4) did not panic")
+		}
+	}()
+	New(0).Sample(3, 4)
+}
+
+func TestSampleFullRange(t *testing.T) {
+	out := New(9).Sample(10, 10)
+	seen := make([]bool, 10)
+	for _, v := range out {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("Sample(10,10) missing value %d", i)
+		}
+	}
+}
+
+func TestWeightedIndex(t *testing.T) {
+	s := New(23)
+	weights := []float64{0, 1, 3, 0, 6}
+	counts := make([]int, len(weights))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.WeightedIndex(weights)]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Fatalf("zero-weight indices selected: %v", counts)
+	}
+	// Expected proportions 0.1, 0.3, 0.6 within 2%.
+	for i, want := range map[int]float64{1: 0.1, 2: 0.3, 4: 0.6} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("index %d frequency %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestWeightedIndexPanics(t *testing.T) {
+	for name, w := range map[string][]float64{
+		"negative": {1, -1},
+		"allzero":  {0, 0},
+		"empty":    {},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("WeightedIndex(%s) did not panic", name)
+				}
+			}()
+			New(0).WeightedIndex(w)
+		}()
+	}
+}
+
+func TestShuffleSwapCoverage(t *testing.T) {
+	s := New(31)
+	vals := []string{"a", "b", "c", "d", "e", "f"}
+	orig := append([]string(nil), vals...)
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	// Same multiset.
+	seen := map[string]int{}
+	for _, v := range vals {
+		seen[v]++
+	}
+	for _, v := range orig {
+		seen[v]--
+	}
+	for k, c := range seen {
+		if c != 0 {
+			t.Fatalf("Shuffle changed multiset: %s count off by %d", k, c)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(37)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	if got := float64(hits) / n; math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) frequency %v", got)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Intn(1000003)
+	}
+	_ = sink
+}
+
+func BenchmarkPerm1000(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Perm(1000)
+	}
+}

@@ -1,0 +1,92 @@
+package robust
+
+import (
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/lid"
+	"overlaymatch/internal/simnet"
+)
+
+// Adversary behaviors. Each implements simnet.Handler and calls Halt
+// immediately (an adversary is never "waiting" — it is dead or done),
+// so runs still quiesce structurally.
+
+// Crash is the fail-stop-at-start adversary: it never sends anything
+// and ignores everything. Against plain LID this deadlocks proposers;
+// TolerantNode's timeouts absorb it.
+type Crash struct{}
+
+// Init implements simnet.Handler.
+func (Crash) Init(ctx simnet.Context) { ctx.Halt() }
+
+// HandleMessage implements simnet.Handler.
+func (Crash) HandleMessage(simnet.Context, int, simnet.Message) {}
+
+// CrashAfter behaves as a correct (tolerant) peer for the first K
+// deliveries, then fails silently — the nastiest fail-stop pattern,
+// since it may crash between receiving a PROP and answering it, or
+// right after locking.
+type CrashAfter struct {
+	Inner *TolerantNode
+	K     int
+
+	seen    int
+	crashed bool
+}
+
+// Init implements simnet.Handler.
+func (c *CrashAfter) Init(ctx simnet.Context) {
+	if c.K <= 0 {
+		c.crashed = true
+		ctx.Halt()
+		return
+	}
+	c.Inner.Init(&haltLessCtx{ctx})
+	ctx.Halt() // terminated from the runtime's viewpoint either way
+}
+
+// HandleMessage implements simnet.Handler.
+func (c *CrashAfter) HandleMessage(ctx simnet.Context, from int, msg simnet.Message) {
+	if c.crashed {
+		return
+	}
+	c.seen++
+	if c.seen > c.K {
+		c.crashed = true
+		return
+	}
+	c.Inner.HandleMessage(&haltLessCtx{ctx}, from, msg)
+}
+
+// haltLessCtx suppresses the inner node's Halt (the wrapper manages
+// termination) while passing everything else through.
+type haltLessCtx struct {
+	simnet.Context
+}
+
+func (h *haltLessCtx) Halt() {}
+
+// SetTimer forwards to the underlying timer-capable context.
+func (h *haltLessCtx) SetTimer(delay float64, msg simnet.Message) {
+	simnet.SetTimerOn(h.Context, delay, msg)
+}
+
+// Spammer floods every neighbor with a PROP immediately followed by a
+// REJ — a protocol-violating sequence designed to trigger transient
+// locks and dissolutions at honest peers.
+type Spammer struct {
+	Neighbors []graph.NodeID
+}
+
+// Init implements simnet.Handler.
+func (s Spammer) Init(ctx simnet.Context) {
+	for _, nb := range s.Neighbors {
+		ctx.Send(nb, lid.Msg{IsProp: true})
+	}
+	for _, nb := range s.Neighbors {
+		ctx.Send(nb, lid.Msg{IsProp: false})
+	}
+	ctx.Halt()
+}
+
+// HandleMessage implements simnet.Handler.
+func (Spammer) HandleMessage(simnet.Context, int, simnet.Message) {}

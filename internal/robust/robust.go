@@ -1,0 +1,282 @@
+// Package robust addresses the paper's future-work question (§7):
+// "scenarios where some malicious nodes actively try to disrupt the
+// algorithm's execution". Plain LID trusts its neighbors: a peer that
+// silently swallows a PROP leaves the proposer waiting forever, and a
+// peer that sends protocol-violating sequences trips the strict state
+// machine. This package provides
+//
+//   - TolerantNode: a hardened LID variant. Every proposal carries a
+//     local timeout; an unanswered proposal is *revoked* — the
+//     proposer sends an explicit REJ, writes the pair off, and moves
+//     on. Because the base protocol locks silently on mutual PROPs, a
+//     revocation can race a lock; TolerantNode therefore treats locks
+//     as revocable: a REJ arriving from a locked neighbor dissolves
+//     the lock and frees the quota slot. Unexpected messages are
+//     counted, never panicked on.
+//   - Adversaries: Crash (silent from the start), CrashAfter (fails
+//     mid-protocol), and Spammer (floods PROP followed by REJ to every
+//     neighbor).
+//
+// Guarantees and their limits: with honest-but-slow peers, a timeout
+// chosen above the latency tail keeps the outcome identical to LIC
+// (tested); under adversaries the hardened protocol still terminates,
+// ends with symmetric locks and feasible quotas, and honest peers keep
+// a measured fraction of the satisfaction they would get in an
+// adversary-free overlay (experiment E12). Distinguishing a slow peer
+// from a dead one is impossible in a fully asynchronous system, so
+// spurious timeouts can cost connections — never consistency.
+package robust
+
+import (
+	"fmt"
+
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/lid"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+)
+
+// timeoutToken is the private timer token for proposal timeouts.
+type timeoutToken struct {
+	To graph.NodeID
+}
+
+// neighbor states. Unlike package lid these admit one extra
+// transition: locked -> resolved (revoked lock).
+type nstate uint8
+
+const (
+	stUntouched nstate = iota
+	stProposed
+	stApproached
+	stLocked
+	stResolved // any dead pair: rejected, revoked, or dissolved
+)
+
+// TolerantNode is the hardened LID state machine. It implements
+// simnet.Handler and requires a timer-capable runtime (both simnet
+// runtimes qualify).
+type TolerantNode struct {
+	id      graph.NodeID
+	quota   int
+	timeout float64
+	order   []graph.NodeID
+	state   map[graph.NodeID]nstate
+
+	cursor     int
+	unresolved int
+	pending    int
+	locked     []graph.NodeID
+	halted     bool
+	quotaFullB bool // REJ broadcast already sent
+
+	// Violations counts messages that the strict protocol forbids;
+	// adversaries produce them, honest peers never should.
+	Violations int
+	// Revocations counts proposals this node revoked after timeout.
+	Revocations int
+	// DissolvedLocks counts locks dissolved by an incoming revocation.
+	DissolvedLocks int
+}
+
+// NewTolerantNode builds the hardened node for id with the given
+// proposal timeout (virtual time units).
+func NewTolerantNode(s *pref.System, tbl *satisfaction.Table, id graph.NodeID, timeout float64) *TolerantNode {
+	if timeout <= 0 {
+		panic("robust: timeout must be positive")
+	}
+	order := tbl.SortedNeighbors(s, id)
+	st := make(map[graph.NodeID]nstate, len(order))
+	for _, nb := range order {
+		st[nb] = stUntouched
+	}
+	return &TolerantNode{
+		id:         id,
+		quota:      s.Quota(id),
+		timeout:    timeout,
+		order:      order,
+		state:      st,
+		unresolved: len(order),
+	}
+}
+
+// Init implements simnet.Handler.
+func (n *TolerantNode) Init(ctx simnet.Context) {
+	for n.pending+len(n.locked) < n.quota && n.cursor < len(n.order) {
+		v := n.order[n.cursor]
+		n.cursor++
+		n.propose(ctx, v)
+	}
+	n.checkDone(ctx)
+}
+
+func (n *TolerantNode) propose(ctx simnet.Context, v graph.NodeID) {
+	n.state[v] = stProposed
+	n.pending++
+	ctx.Send(v, lid.Msg{IsProp: true})
+	simnet.SetTimerOn(ctx, n.timeout, timeoutToken{To: v})
+}
+
+// HandleMessage implements simnet.Handler.
+func (n *TolerantNode) HandleMessage(ctx simnet.Context, from int, msg simnet.Message) {
+	if tok, ok := msg.(timeoutToken); ok {
+		n.handleTimeout(ctx, tok.To)
+		n.checkDone(ctx)
+		return
+	}
+	m, ok := msg.(lid.Msg)
+	if !ok {
+		n.Violations++
+		return
+	}
+	st, known := n.state[from]
+	if !known {
+		n.Violations++
+		return
+	}
+	if m.IsProp {
+		n.handleProp(ctx, from, st)
+	} else {
+		n.handleRej(ctx, from, st)
+	}
+	n.checkDone(ctx)
+}
+
+func (n *TolerantNode) handleTimeout(ctx simnet.Context, to graph.NodeID) {
+	if n.state[to] != stProposed {
+		return // answered in time; stale timer
+	}
+	// Revoke: explicit REJ so an honest slow peer learns the proposal
+	// is withdrawn (and dissolves a racing lock).
+	n.state[to] = stResolved
+	n.unresolved--
+	n.pending--
+	n.Revocations++
+	ctx.Send(to, lid.Msg{IsProp: false})
+	n.proposeNext(ctx)
+}
+
+func (n *TolerantNode) handleProp(ctx simnet.Context, from graph.NodeID, st nstate) {
+	switch st {
+	case stUntouched:
+		n.state[from] = stApproached
+	case stProposed:
+		n.lock(ctx, from, true)
+	case stResolved:
+		// Late PROP crossing our revoke or quota-full REJ: if we never
+		// answered this pair with a REJ we would leave an honest peer
+		// relying on its own timeout; both revoke and broadcast paths
+		// already sent one, so nothing to do.
+	case stApproached, stLocked:
+		n.Violations++ // duplicate PROP
+	}
+}
+
+func (n *TolerantNode) handleRej(ctx simnet.Context, from graph.NodeID, st nstate) {
+	switch st {
+	case stProposed:
+		n.state[from] = stResolved
+		n.unresolved--
+		n.pending--
+		n.proposeNext(ctx)
+	case stUntouched:
+		n.state[from] = stResolved
+		n.unresolved--
+	case stApproached:
+		// A revocation of a proposal we had not answered yet.
+		n.state[from] = stResolved
+		n.unresolved--
+	case stLocked:
+		// Revocation racing our silent lock: dissolve it.
+		n.dissolve(ctx, from)
+	case stResolved:
+		// Crossing REJs; fine.
+	}
+}
+
+// dissolve removes a revoked lock and tries to reuse the freed slot.
+func (n *TolerantNode) dissolve(ctx simnet.Context, from graph.NodeID) {
+	n.state[from] = stResolved
+	for i, v := range n.locked {
+		if v == from {
+			n.locked = append(n.locked[:i], n.locked[i+1:]...)
+			break
+		}
+	}
+	n.DissolvedLocks++
+	// The freed slot can only be refilled if unproposed candidates
+	// remain (after a quota-full broadcast there are none).
+	if !n.quotaFullB {
+		n.proposeNext(ctx)
+	}
+}
+
+func (n *TolerantNode) proposeNext(ctx simnet.Context) {
+	for n.pending+len(n.locked) < n.quota && n.cursor < len(n.order) {
+		v := n.order[n.cursor]
+		n.cursor++
+		switch n.state[v] {
+		case stUntouched:
+			n.propose(ctx, v)
+			return
+		case stApproached:
+			ctx.Send(v, lid.Msg{IsProp: true})
+			n.lock(ctx, v, false)
+			return
+		}
+	}
+}
+
+func (n *TolerantNode) lock(ctx simnet.Context, from graph.NodeID, fromProposed bool) {
+	n.state[from] = stLocked
+	n.unresolved--
+	if fromProposed {
+		n.pending--
+	}
+	n.locked = append(n.locked, from)
+	if len(n.locked) > n.quota {
+		panic(fmt.Sprintf("robust: node %d exceeded quota", n.id))
+	}
+	if len(n.locked) == n.quota && !n.quotaFullB {
+		n.quotaFullB = true
+		for _, v := range n.order {
+			switch n.state[v] {
+			case stUntouched, stApproached:
+				n.state[v] = stResolved
+				n.unresolved--
+				ctx.Send(v, lid.Msg{IsProp: false})
+			case stProposed:
+				// Unlike strict LID, pending proposals can coexist
+				// with a full quota here (a dissolved lock may have
+				// been refilled by an approach while a proposal was in
+				// flight is impossible — but a timeout-revoked slot
+				// refilled by a mutual lock can leave a pending
+				// proposal). Revoke them.
+				n.state[v] = stResolved
+				n.unresolved--
+				n.pending--
+				n.Revocations++
+				ctx.Send(v, lid.Msg{IsProp: false})
+			}
+		}
+	}
+}
+
+func (n *TolerantNode) checkDone(ctx simnet.Context) {
+	if n.unresolved == 0 && !n.halted {
+		n.halted = true
+		ctx.Halt()
+	}
+}
+
+// Halted reports local termination.
+func (n *TolerantNode) Halted() bool { return n.halted }
+
+// Locked returns the node's current connections.
+func (n *TolerantNode) Locked() []graph.NodeID {
+	return append([]graph.NodeID(nil), n.locked...)
+}
+
+// ID returns the node's identifier.
+func (n *TolerantNode) ID() graph.NodeID { return n.id }

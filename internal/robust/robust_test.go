@@ -1,0 +1,235 @@
+package robust
+
+import (
+	"testing"
+	"testing/quick"
+
+	"overlaymatch/internal/gen"
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/lid"
+	"overlaymatch/internal/matching"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/rng"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+)
+
+func randomSystem(tb testing.TB, seed uint64, n int, p float64, b int) *pref.System {
+	tb.Helper()
+	src := rng.New(seed)
+	g := gen.GNP(src, n, p)
+	s, err := pref.Build(g, pref.NewRandomMetric(src.Split()), pref.UniformQuota(b))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// TestHonestOnlyEqualsLIC: with no adversaries and a timeout beyond
+// the latency tail, the tolerant protocol must coincide with plain
+// LID/LIC exactly — hardening costs nothing in the good case.
+func TestHonestOnlyEqualsLIC(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		s := randomSystem(t, seed, int(nRaw)%15+5, 0.4, 2)
+		sc := Scenario{
+			System:  s,
+			Timeout: 1e7, // effectively never fires before quiescence
+			Options: simnet.Options{Seed: seed, Latency: simnet.ExponentialLatency(3)},
+		}
+		out, err := sc.Run()
+		if err != nil {
+			return false
+		}
+		if out.Revocations != 0 || out.DissolvedLocks != 0 || out.Violations != 0 {
+			return false
+		}
+		want := matching.LIC(s, satisfaction.NewTable(s))
+		return out.HonestMatching.Equal(want)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlainLIDDeadlocksOnCrash documents the motivation: strict LID
+// with a silent peer never terminates (the runner reports it).
+func TestPlainLIDDeadlocksOnCrash(t *testing.T) {
+	s := randomSystem(t, 3, 10, 0.6, 2)
+	tbl := satisfaction.NewTable(s)
+	nodes := lid.NewNodes(s, tbl)
+	handlers := lid.Handlers(nodes)
+	handlers[0] = Crash{} // replace one peer with a silent adversary
+	runner := simnet.NewRunner(s.Graph().NumNodes(), simnet.Options{Seed: 1})
+	_, err := runner.Run(handlers)
+	if err == nil {
+		t.Fatal("plain LID with a crashed peer should fail to quiesce")
+	}
+}
+
+// TestCrashAdversariesAbsorbed: tolerant nodes terminate, stay
+// symmetric and keep a solid fraction of the adversary-free
+// satisfaction when 20% of peers are dead.
+func TestCrashAdversariesAbsorbed(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		s := randomSystem(t, seed, 30, 0.3, 2)
+		sc := Scenario{
+			System:      s,
+			Adversaries: FractionAdversaries(30, 0.2, AdvCrash),
+			Timeout:     50,
+			Options:     simnet.Options{Seed: seed, Latency: simnet.UniformLatency(1, 3)},
+		}
+		out, err := sc.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out.Revocations == 0 {
+			t.Fatalf("seed %d: crashes present but nothing revoked", seed)
+		}
+		if out.BaselineSatisfaction > 0 {
+			ratio := out.HonestSatisfaction / out.BaselineSatisfaction
+			if ratio < 0.5 {
+				t.Fatalf("seed %d: honest satisfaction ratio %v under 0.5", seed, ratio)
+			}
+		}
+		if err := out.HonestMatching.Validate(s); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestSpammerAbsorbed: flood adversaries cause dissolutions but never
+// break symmetry, feasibility, or termination.
+func TestSpammerAbsorbed(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		s := randomSystem(t, seed, 25, 0.35, 2)
+		sc := Scenario{
+			System:      s,
+			Adversaries: FractionAdversaries(25, 0.15, AdvSpammer),
+			Timeout:     50,
+			Options:     simnet.Options{Seed: seed, Latency: simnet.UniformLatency(1, 3)},
+		}
+		out, err := sc.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := out.HonestMatching.Validate(s); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestCrashAfterAbsorbed: mid-protocol failures (including right after
+// locking) leave dead locks but honest-honest state stays consistent.
+func TestCrashAfterAbsorbed(t *testing.T) {
+	deadLocksSeen := 0
+	for seed := uint64(0); seed < 25; seed++ {
+		s := randomSystem(t, seed, 25, 0.4, 2)
+		sc := Scenario{
+			System:      s,
+			Adversaries: FractionAdversaries(25, 0.2, AdvCrashAfter),
+			Timeout:     50,
+			CrashAfterK: 2,
+			Options:     simnet.Options{Seed: seed, Latency: simnet.UniformLatency(1, 3)},
+		}
+		out, err := sc.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		deadLocksSeen += out.DeadLocks
+		if err := out.HonestMatching.Validate(s); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if deadLocksSeen == 0 {
+		t.Log("note: no dead locks occurred across seeds (crash windows missed all locks)")
+	}
+}
+
+// TestAggressiveTimeoutsStayConsistent: a timeout far below honest
+// answer delays causes heavy revocation, yet the outcome must remain
+// symmetric and feasible (consistency never depends on timing).
+func TestAggressiveTimeoutsStayConsistent(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		s := randomSystem(t, seed, 20, 0.5, 2)
+		sc := Scenario{
+			System:  s,
+			Timeout: 1.5, // below typical answer latency
+			Options: simnet.Options{Seed: seed, Latency: simnet.UniformLatency(1, 4)},
+		}
+		out, err := sc.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := out.HonestMatching.Validate(s); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestFractionAdversaries(t *testing.T) {
+	advs := FractionAdversaries(100, 0.25, AdvCrash)
+	if len(advs) != 25 {
+		t.Fatalf("got %d adversaries, want 25", len(advs))
+	}
+	if len(FractionAdversaries(100, 0, AdvCrash)) != 0 {
+		t.Fatal("frac=0 should give none")
+	}
+	if AdvCrash.String() != "crash" || AdvSpammer.String() != "spammer" || AdvCrashAfter.String() != "crash-after" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestTolerantNodeValidation(t *testing.T) {
+	s := randomSystem(t, 1, 5, 1.0, 1)
+	tbl := satisfaction.NewTable(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero timeout should panic")
+		}
+	}()
+	NewTolerantNode(s, tbl, 0, 0)
+}
+
+// TestViolationCountingNotPanicking: garbage messages increment the
+// violation counter instead of crashing the node.
+func TestViolationCounting(t *testing.T) {
+	s := randomSystem(t, 2, 4, 1.0, 1)
+	tbl := satisfaction.NewTable(s)
+	n := NewTolerantNode(s, tbl, 0, 100)
+	ctx := discardCtx{}
+	n.Init(ctx)
+	n.HandleMessage(ctx, 1, "garbage")
+	n.HandleMessage(ctx, 99, lid.Msg{IsProp: true}) // non-neighbor
+	if n.Violations != 2 {
+		t.Fatalf("violations = %d, want 2", n.Violations)
+	}
+}
+
+// discardCtx supports timers (no-op) for direct state machine pokes.
+type discardCtx struct{}
+
+func (discardCtx) ID() int                          { return 0 }
+func (discardCtx) Send(int, simnet.Message)         {}
+func (discardCtx) Halt()                            {}
+func (discardCtx) Time() float64                    { return 0 }
+func (discardCtx) SetTimer(float64, simnet.Message) {}
+
+func TestCrashAfterZeroKActsLikeCrash(t *testing.T) {
+	// K <= 0 means the peer never participates at all; the scenario
+	// must behave exactly like AdvCrash.
+	s := randomSystem(t, 61, 15, 0.5, 2)
+	sc := Scenario{
+		System:      s,
+		Adversaries: map[graph.NodeID]AdversaryKind{0: AdvCrashAfter},
+		Timeout:     40,
+		CrashAfterK: -1,
+		Options:     simnet.Options{Seed: 2, Latency: simnet.UniformLatency(1, 2)},
+	}
+	out, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.HonestMatching.DegreeOf(0) != 0 {
+		t.Fatal("crashed-at-zero peer got matched")
+	}
+}

@@ -1,0 +1,220 @@
+package robust
+
+import (
+	"fmt"
+	"sort"
+
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/matching"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+)
+
+// AdversaryKind selects a behavior for Scenario.
+type AdversaryKind int
+
+const (
+	// AdvCrash is silent from the start.
+	AdvCrash AdversaryKind = iota
+	// AdvCrashAfter participates correctly for a few deliveries, then
+	// fails silently.
+	AdvCrashAfter
+	// AdvSpammer floods PROP+REJ pairs.
+	AdvSpammer
+)
+
+func (k AdversaryKind) String() string {
+	switch k {
+	case AdvCrash:
+		return "crash"
+	case AdvCrashAfter:
+		return "crash-after"
+	case AdvSpammer:
+		return "spammer"
+	}
+	return fmt.Sprintf("AdversaryKind(%d)", int(k))
+}
+
+// Scenario describes one adversarial run.
+type Scenario struct {
+	System      *pref.System
+	Adversaries map[graph.NodeID]AdversaryKind
+	Timeout     float64 // proposal timeout for honest nodes
+	CrashAfterK int     // K for AdvCrashAfter (default 5)
+	Options     simnet.Options
+}
+
+// Outcome reports the result of a Scenario run.
+type Outcome struct {
+	// HonestMatching contains only honest–honest connections.
+	HonestMatching *matching.Matching
+	// DeadLocks counts honest connections whose peer was adversarial
+	// (e.g. locked right before a crash) — wasted quota slots.
+	DeadLocks int
+	// HonestSatisfaction is Σ Si over honest nodes, counting only
+	// honest–honest connections.
+	HonestSatisfaction float64
+	// BaselineSatisfaction is the total satisfaction LIC achieves on
+	// the honest-induced subgraph — the adversary-free yardstick.
+	BaselineSatisfaction float64
+	// Revocations, DissolvedLocks and Violations aggregate the
+	// tolerant nodes' counters.
+	Revocations    int
+	DissolvedLocks int
+	Violations     int
+	Stats          simnet.Stats
+}
+
+// Run executes the scenario on the event simulator.
+func (sc Scenario) Run() (Outcome, error) {
+	s := sc.System
+	g := s.Graph()
+	tbl := satisfaction.NewTable(s)
+	k := sc.CrashAfterK
+	if k == 0 {
+		k = 5
+	}
+
+	handlers := make([]simnet.Handler, g.NumNodes())
+	honest := make(map[graph.NodeID]*TolerantNode)
+	for id := 0; id < g.NumNodes(); id++ {
+		kind, isAdv := sc.Adversaries[id]
+		if !isAdv {
+			n := NewTolerantNode(s, tbl, id, sc.Timeout)
+			honest[id] = n
+			handlers[id] = n
+			continue
+		}
+		switch kind {
+		case AdvCrash:
+			handlers[id] = Crash{}
+		case AdvCrashAfter:
+			handlers[id] = &CrashAfter{Inner: NewTolerantNode(s, tbl, id, sc.Timeout), K: k}
+		case AdvSpammer:
+			handlers[id] = Spammer{Neighbors: g.Neighbors(id)}
+		default:
+			return Outcome{}, fmt.Errorf("robust: unknown adversary kind %v", kind)
+		}
+	}
+
+	runner := simnet.NewRunner(g.NumNodes(), sc.Options)
+	stats, err := runner.Run(handlers)
+	if err != nil {
+		return Outcome{Stats: stats}, err
+	}
+
+	out := Outcome{Stats: stats}
+	m := matching.New(g.NumNodes())
+	for id, n := range honest {
+		for _, v := range n.Locked() {
+			if _, adv := sc.Adversaries[v]; adv {
+				out.DeadLocks++
+				continue
+			}
+			if id < v {
+				m.Add(id, v)
+			}
+		}
+		out.Revocations += n.Revocations
+		out.DissolvedLocks += n.DissolvedLocks
+		out.Violations += n.Violations
+	}
+	// Honest–honest locks must be symmetric.
+	for id, n := range honest {
+		cnt := 0
+		for _, v := range n.Locked() {
+			if _, adv := sc.Adversaries[v]; !adv {
+				cnt++
+				if !m.Has(id, v) {
+					return out, fmt.Errorf("robust: asymmetric honest lock %d-%d", id, v)
+				}
+			}
+		}
+		if cnt != m.DegreeOf(id) {
+			return out, fmt.Errorf("robust: node %d lock count mismatch", id)
+		}
+	}
+	out.HonestMatching = m
+
+	for id := range honest {
+		var conns []graph.NodeID
+		for _, v := range m.Connections(id) {
+			conns = append(conns, v)
+		}
+		out.HonestSatisfaction += satisfaction.Value(s, id, conns)
+	}
+
+	base, err := honestBaseline(s, sc.Adversaries)
+	if err != nil {
+		return out, err
+	}
+	out.BaselineSatisfaction = base
+	return out, nil
+}
+
+// honestBaseline computes the total satisfaction of LIC on the
+// honest-induced subgraph, evaluated with the original (full) lists so
+// it is comparable to HonestSatisfaction.
+func honestBaseline(s *pref.System, adversaries map[graph.NodeID]AdversaryKind) (float64, error) {
+	g := s.Graph()
+	var keep []graph.NodeID
+	for id := 0; id < g.NumNodes(); id++ {
+		if _, adv := adversaries[id]; !adv {
+			keep = append(keep, id)
+		}
+	}
+	sort.Ints(keep)
+	sub, back, err := g.Subgraph(keep)
+	if err != nil {
+		return 0, err
+	}
+	fwd := make(map[graph.NodeID]int, len(back))
+	for newID, oldID := range back {
+		fwd[oldID] = newID
+	}
+	lists := make([][]graph.NodeID, sub.NumNodes())
+	quotas := make([]int, sub.NumNodes())
+	for newID, oldID := range back {
+		for _, j := range s.List(oldID) {
+			if nj, ok := fwd[j]; ok {
+				lists[newID] = append(lists[newID], nj)
+			}
+		}
+		quotas[newID] = s.Quota(oldID)
+	}
+	s2, err := pref.FromRanks(sub, lists, quotas)
+	if err != nil {
+		return 0, err
+	}
+	m := matching.LIC(s2, satisfaction.NewTable(s2))
+	// Evaluate against the ORIGINAL ranks/list lengths for an
+	// apples-to-apples comparison with HonestSatisfaction.
+	var total float64
+	for newID, oldID := range back {
+		var conns []graph.NodeID
+		for _, v := range m.Connections(newID) {
+			conns = append(conns, back[v])
+		}
+		total += satisfaction.Value(s, oldID, conns)
+	}
+	return total, nil
+}
+
+// FractionAdversaries picks roughly frac·n adversary IDs of the given
+// kind deterministically (every ceil(1/frac)-th node), a convenient
+// scenario builder for sweeps.
+func FractionAdversaries(n int, frac float64, kind AdversaryKind) map[graph.NodeID]AdversaryKind {
+	out := make(map[graph.NodeID]AdversaryKind)
+	if frac <= 0 || n == 0 {
+		return out
+	}
+	step := int(1 / frac)
+	if step < 1 {
+		step = 1
+	}
+	for id := step - 1; id < n; id += step {
+		out[id] = kind
+	}
+	return out
+}

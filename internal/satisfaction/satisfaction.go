@@ -1,0 +1,294 @@
+// Package satisfaction implements the paper's optimization metric (§3)
+// and its static approximation (§4): node satisfaction (eq. 1), the
+// per-connection satisfaction increase ΔSij and its static/dynamic
+// decomposition (eq. 4, eq. 7), the modified static-only forms
+// (eq. 5, 6), the symmetric edge weights that convert the modified
+// problem into a many-to-many maximum weighted matching (eq. 9), and
+// the proven bounds of Lemma 1 and Theorem 3.
+//
+// Conventions follow the paper exactly: ranks are 0-based
+// (Ri(j) ∈ {0,...,|Li|−1}, 0 = most desirable), Qi(j) is j's 0-based
+// position in node i's connection list ordered by decreasing
+// preference, ci = |Ci| ≤ bi, and Li denotes (by abuse of notation, as
+// in the paper) both the preference list and its length.
+package satisfaction
+
+import (
+	"fmt"
+	"math/big"
+	"slices"
+	"sort"
+	"sync"
+
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/pref"
+)
+
+// Value computes Si (eq. 1) for node i connected to the given
+// neighbors. The connection set need not be sorted; it is ranked
+// internally. Nodes with an empty preference list have satisfaction 0.
+// It panics if the connections exceed the quota, repeat, or are not
+// neighbors of i — callers must pass a feasible connection set.
+func Value(s *pref.System, i graph.NodeID, conns []graph.NodeID) float64 {
+	li := float64(s.ListLen(i))
+	bi := float64(s.Quota(i))
+	if li == 0 || bi == 0 {
+		if len(conns) > 0 {
+			panic(fmt.Sprintf("satisfaction: node %d has quota 0 but %d connections", i, len(conns)))
+		}
+		return 0
+	}
+	ci := float64(len(conns))
+	if len(conns) > s.Quota(i) {
+		panic(fmt.Sprintf("satisfaction: node %d has %d connections, quota %d", i, len(conns), s.Quota(i)))
+	}
+	var rankSum float64
+	seen := make(map[graph.NodeID]bool, len(conns))
+	for _, j := range conns {
+		if seen[j] {
+			panic(fmt.Sprintf("satisfaction: node %d connected to %d twice", i, j))
+		}
+		seen[j] = true
+		rankSum += float64(s.Rank(i, j)) // panics if j is not a neighbor
+	}
+	// Eq. 1: Si = ci/bi + ci(ci−1)/(2 bi Li) − Σ Ri(j)/(bi Li).
+	return ci/bi + ci*(ci-1)/(2*bi*li) - rankSum/(bi*li)
+}
+
+// Delta computes ΔSij (eq. 4): the increase in node i's satisfaction
+// from taking neighbor j as its (q+1)-th best connection, where q is
+// j's 0-based position Qi(j) in the final connection list. It panics if
+// j is not i's neighbor or q is outside [0, bi).
+func Delta(s *pref.System, i, j graph.NodeID, q int) float64 {
+	bi := float64(s.Quota(i))
+	li := float64(s.ListLen(i))
+	if q < 0 || q >= s.Quota(i) {
+		panic(fmt.Sprintf("satisfaction: connection position %d outside [0,%d)", q, s.Quota(i)))
+	}
+	ri := float64(s.Rank(i, j))
+	// Eq. 4: ΔSij = (1 − Ri(j)/Li)/bi + Qi(j)/(bi·Li).
+	return (1-ri/li)/bi + float64(q)/(bi*li)
+}
+
+// StaticDelta computes the execution-independent part of ΔSij (eq. 5):
+// ΔS̄ij = (1 − Ri(j)/Li)/bi. This is the quantity peers disclose to
+// each other; it never reveals the metric itself.
+func StaticDelta(s *pref.System, i, j graph.NodeID) float64 {
+	bi := float64(s.Quota(i))
+	li := float64(s.ListLen(i))
+	ri := float64(s.Rank(i, j))
+	return (1 - ri/li) / bi
+}
+
+// DynamicDelta computes the execution-varying part of ΔSij (eq. 4,
+// second parenthesis): Qi(j)/(bi·Li) for connection position q = Qi(j).
+func DynamicDelta(s *pref.System, i graph.NodeID, q int) float64 {
+	bi := float64(s.Quota(i))
+	li := float64(s.ListLen(i))
+	if li == 0 {
+		return 0
+	}
+	return float64(q) / (bi * li)
+}
+
+// ModifiedValue computes S̄i (eq. 6), the static-only satisfaction:
+// S̄i = ci/bi − Σ Ri(j)/(bi Li) = Σ_j ΔS̄ij.
+func ModifiedValue(s *pref.System, i graph.NodeID, conns []graph.NodeID) float64 {
+	li := float64(s.ListLen(i))
+	bi := float64(s.Quota(i))
+	if li == 0 || bi == 0 {
+		return 0
+	}
+	if len(conns) > s.Quota(i) {
+		panic(fmt.Sprintf("satisfaction: node %d has %d connections, quota %d", i, len(conns), s.Quota(i)))
+	}
+	var rankSum float64
+	for _, j := range conns {
+		rankSum += float64(s.Rank(i, j))
+	}
+	ci := float64(len(conns))
+	return ci/bi - rankSum/(bi*li)
+}
+
+// Split returns the static and dynamic parts (Sis, Sid) of node i's
+// satisfaction (eq. 7); Value(s,i,conns) == Sis + Sid up to rounding.
+func Split(s *pref.System, i graph.NodeID, conns []graph.NodeID) (static, dynamic float64) {
+	static = ModifiedValue(s, i, conns)
+	for q := 0; q < len(conns); q++ {
+		dynamic += DynamicDelta(s, i, q)
+	}
+	return static, dynamic
+}
+
+// sortByPreference returns conns ordered by decreasing preference of
+// node i (the connection list Ci of the paper).
+func sortByPreference(s *pref.System, i graph.NodeID, conns []graph.NodeID) []graph.NodeID {
+	out := append([]graph.NodeID(nil), conns...)
+	slices.SortFunc(out, func(a, b graph.NodeID) int {
+		return s.Rank(i, a) - s.Rank(i, b)
+	})
+	return out
+}
+
+// ConnectionList returns Ci for node i: the connections ordered by
+// decreasing preference, so that Qi(Ci[q]) = q.
+func ConnectionList(s *pref.System, i graph.NodeID, conns []graph.NodeID) []graph.NodeID {
+	return sortByPreference(s, i, conns)
+}
+
+// Lemma1Bound returns ½(1 + 1/b), the approximation factor the modified
+// (static-only) problem guarantees for the true satisfaction objective
+// when every quota is at most b (Lemma 1). It panics for b < 1.
+func Lemma1Bound(b int) float64 {
+	if b < 1 {
+		panic("satisfaction: Lemma1Bound needs b >= 1")
+	}
+	return 0.5 * (1 + 1/float64(b))
+}
+
+// Theorem3Bound returns ¼(1 + 1/bmax), the end-to-end approximation
+// factor of LID for the maximizing-satisfaction b-matching problem
+// (Theorem 3). It panics for bmax < 1.
+func Theorem3Bound(bmax int) float64 {
+	if bmax < 1 {
+		panic("satisfaction: Theorem3Bound needs bmax >= 1")
+	}
+	return 0.25 * (1 + 1/float64(bmax))
+}
+
+// EdgeWeight computes w(i,j) (eq. 9): the sum of the two endpoints'
+// static satisfaction increases. Symmetric by construction.
+func EdgeWeight(s *pref.System, e graph.Edge) float64 {
+	return StaticDelta(s, e.U, e.V) + StaticDelta(s, e.V, e.U)
+}
+
+// ExactEdgeWeight returns w(i,j) as an exact rational
+// (Li−Ri(j))/(Li·bi) + (Lj−Rj(i))/(Lj·bj), for validating the float
+// total order in tests.
+func ExactEdgeWeight(s *pref.System, e graph.Edge) *big.Rat {
+	term := func(i, j graph.NodeID) *big.Rat {
+		li := int64(s.ListLen(i))
+		bi := int64(s.Quota(i))
+		ri := int64(s.Rank(i, j))
+		return big.NewRat(li-ri, li*bi)
+	}
+	return new(big.Rat).Add(term(e.U, e.V), term(e.V, e.U))
+}
+
+// WeightKey is the strict total order on edges that LIC and LID share:
+// weight descending, ties broken by canonical endpoint IDs ascending.
+// The paper assumes unique edge weights with "ties broken using node
+// identities"; WeightKey realizes that assumption. The order is
+// symmetric (both endpoints of an edge compute the same key), which is
+// what Lemma 5's termination argument needs.
+type WeightKey struct {
+	W    float64
+	U, V graph.NodeID // canonical: U < V
+}
+
+// KeyFor builds the WeightKey of edge e under system s.
+func KeyFor(s *pref.System, e graph.Edge) WeightKey {
+	e = e.Normalize()
+	return WeightKey{W: EdgeWeight(s, e), U: e.U, V: e.V}
+}
+
+// Heavier reports whether a is strictly heavier than b in the shared
+// total order.
+func (a WeightKey) Heavier(b WeightKey) bool {
+	if a.W != b.W {
+		return a.W > b.W
+	}
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+// Edge returns the canonical edge this key refers to.
+func (a WeightKey) Edge() graph.Edge { return graph.Edge{U: a.U, V: a.V} }
+
+// Table precomputes every edge's WeightKey for a system, providing the
+// weight lists the LID description calls for. It is immutable after
+// construction and safe for concurrent reads (the per-node weight-list
+// cache is built once, guarded by a sync.Once).
+type Table struct {
+	keys map[graph.Edge]WeightKey
+
+	sortedOnce sync.Once
+	sorted     [][]graph.NodeID         // per-node neighbors by descending weight
+	sortedIdx  []map[graph.NodeID]int32 // per-node: neighbor -> position in sorted
+}
+
+// NewTable computes weights for every edge of the system's graph.
+func NewTable(s *pref.System) *Table {
+	t := &Table{keys: make(map[graph.Edge]WeightKey, s.Graph().NumEdges())}
+	for _, e := range s.Graph().Edges() {
+		t.keys[e] = KeyFor(s, e)
+	}
+	return t
+}
+
+// Key returns the WeightKey of edge {u,v}. It panics if the edge does
+// not exist.
+func (t *Table) Key(u, v graph.NodeID) WeightKey {
+	k, ok := t.keys[graph.Edge{U: u, V: v}.Normalize()]
+	if !ok {
+		panic(fmt.Sprintf("satisfaction: no weight for edge (%d,%d)", u, v))
+	}
+	return k
+}
+
+// Heavier reports whether edge {u,a} is strictly heavier than {u,b}
+// under the table's order (a convenience for per-node weight lists).
+func (t *Table) Heavier(u, a, b graph.NodeID) bool {
+	return t.Key(u, a).Heavier(t.Key(u, b))
+}
+
+// SortedNeighbors returns u's neighbors ordered by decreasing edge
+// weight — the node's "weight list" from §5. Lists for all nodes are
+// computed once on first use and cached (protocol runs re-create their
+// per-run node state, but the weight lists never change); the caller
+// must not modify the result.
+func (t *Table) SortedNeighbors(s *pref.System, u graph.NodeID) []graph.NodeID {
+	t.buildSorted(s)
+	return t.sorted[u]
+}
+
+// SortedIndex returns the position of neighbor v in u's weight list
+// (the inverse of SortedNeighbors); shared and read-only like the
+// lists themselves. It panics if v is not a neighbor of u.
+func (t *Table) SortedIndex(s *pref.System, u, v graph.NodeID) int32 {
+	t.buildSorted(s)
+	idx, ok := t.sortedIdx[u][v]
+	if !ok {
+		panic(fmt.Sprintf("satisfaction: %d is not a neighbor of %d", v, u))
+	}
+	return idx
+}
+
+// NeighborIndexMap returns u's full neighbor→position map (shared,
+// read-only).
+func (t *Table) NeighborIndexMap(s *pref.System, u graph.NodeID) map[graph.NodeID]int32 {
+	t.buildSorted(s)
+	return t.sortedIdx[u]
+}
+
+func (t *Table) buildSorted(s *pref.System) {
+	t.sortedOnce.Do(func() {
+		g := s.Graph()
+		t.sorted = make([][]graph.NodeID, g.NumNodes())
+		t.sortedIdx = make([]map[graph.NodeID]int32, g.NumNodes())
+		for v := 0; v < g.NumNodes(); v++ {
+			list := append([]graph.NodeID(nil), g.Neighbors(v)...)
+			sort.Slice(list, func(a, b int) bool {
+				return t.Key(v, list[a]).Heavier(t.Key(v, list[b]))
+			})
+			t.sorted[v] = list
+			idx := make(map[graph.NodeID]int32, len(list))
+			for i, nb := range list {
+				idx[nb] = int32(i)
+			}
+			t.sortedIdx[v] = idx
+		}
+	})
+}

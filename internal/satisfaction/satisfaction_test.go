@@ -1,0 +1,355 @@
+package satisfaction
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"overlaymatch/internal/gen"
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/rng"
+)
+
+const eps = 1e-12
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+// starSystem builds a star with node 0 in the center ranking leaves
+// 1..n-1 in ascending-ID order (leaf k has rank k-1) and quota b.
+func starSystem(t *testing.T, n, b int) *pref.System {
+	t.Helper()
+	g := gen.Star(n)
+	s, err := pref.Build(g,
+		pref.MetricFunc(func(i, j graph.NodeID) float64 { return -float64(j) }),
+		pref.UniformQuota(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// randomSystem builds a random graph + random preferences.
+func randomSystem(t testing.TB, seed uint64, n int, p float64, b int) *pref.System {
+	src := rng.New(seed)
+	g := gen.GNP(src, n, p)
+	s, err := pref.Build(g, pref.NewRandomMetric(src.Split()), pref.UniformQuota(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValueEmptyConnections(t *testing.T) {
+	s := starSystem(t, 6, 2)
+	if got := Value(s, 0, nil); got != 0 {
+		t.Fatalf("empty connection satisfaction = %v", got)
+	}
+}
+
+func TestValueTopChoicesIsOne(t *testing.T) {
+	// Eq. 1 attains 1 exactly when the bi connections are the top-bi
+	// ranked neighbors.
+	s := starSystem(t, 8, 3)
+	if got := Value(s, 0, []graph.NodeID{1, 2, 3}); !almostEqual(got, 1) {
+		t.Fatalf("top-3 satisfaction = %v, want 1", got)
+	}
+}
+
+func TestValueWorstChoices(t *testing.T) {
+	// Bottom-bi choices: ranks Li−bi .. Li−1.
+	// Si = 1 + bi(bi−1)/(2 bi Li) − Σranks/(bi Li).
+	s := starSystem(t, 8, 3) // center: Li = 7, b = 3, bottom ranks 4,5,6
+	got := Value(s, 0, []graph.NodeID{5, 6, 7})
+	want := 1.0 + 3.0*2.0/(2*3*7) - float64(4+5+6)/(3*7)
+	if !almostEqual(got, want) {
+		t.Fatalf("bottom-3 satisfaction = %v, want %v", got, want)
+	}
+}
+
+func TestValueRangeProperty(t *testing.T) {
+	// Si ∈ [0,1] for every feasible connection set.
+	check := func(seed uint64, nRaw, bRaw, pick uint8) bool {
+		n := int(nRaw)%12 + 3
+		b := int(bRaw)%3 + 1
+		s := randomSystem(t, seed, n, 0.6, b)
+		src := rng.New(seed ^ 0xabcdef)
+		for i := 0; i < n; i++ {
+			neigh := s.Graph().Neighbors(i)
+			if len(neigh) == 0 {
+				continue
+			}
+			k := int(pick) % (min(s.Quota(i), len(neigh)) + 1)
+			conns := make([]graph.NodeID, 0, k)
+			for _, idx := range src.Sample(len(neigh), k) {
+				conns = append(conns, neigh[idx])
+			}
+			v := Value(s, i, conns)
+			if v < -eps || v > 1+eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueEqualsSumOfDeltas(t *testing.T) {
+	// Eq. 1 must equal Σ_j ΔSij with Qi(j) = position in the
+	// preference-ordered connection list (the derivation in §3).
+	check := func(seed uint64, nRaw, bRaw uint8) bool {
+		n := int(nRaw)%12 + 3
+		b := int(bRaw)%4 + 1
+		s := randomSystem(t, seed, n, 0.6, b)
+		src := rng.New(seed + 1)
+		for i := 0; i < n; i++ {
+			neigh := s.Graph().Neighbors(i)
+			if len(neigh) == 0 {
+				continue
+			}
+			k := min(s.Quota(i), len(neigh))
+			conns := make([]graph.NodeID, 0, k)
+			for _, idx := range src.Sample(len(neigh), k) {
+				conns = append(conns, neigh[idx])
+			}
+			want := Value(s, i, conns)
+			var got float64
+			for q, j := range ConnectionList(s, i, conns) {
+				got += Delta(s, i, j, q)
+			}
+			if !almostEqual(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperWorkedExampleShape(t *testing.T) {
+	// §3's example: satisfaction is ci/bi minus, for each connection,
+	// (Ri(j) − Qi(j))/(bi·Li). Construct a concrete instance mirroring
+	// Fig. 1: bi = 4, |Li| = 14, connections at preference ranks
+	// 0, 1, 3, 5 (so nodes deviate from the optimal slots by 0,0,1,2).
+	g := gen.Star(15)
+	lists := make([][]graph.NodeID, 15)
+	lists[0] = []graph.NodeID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}
+	for i := 1; i < 15; i++ {
+		lists[i] = []graph.NodeID{0}
+	}
+	quotas := make([]int, 15)
+	quotas[0] = 4
+	for i := 1; i < 15; i++ {
+		quotas[i] = 1
+	}
+	s, err := pref.FromRanks(g, lists, quotas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := []graph.NodeID{1, 2, 4, 6} // ranks 0,1,3,5
+	got := Value(s, 0, conns)
+	// ci/bi = 1; penalties (Ri−Qi)/(bi·Li): (0−0),(1−1),(3−2),(5−3)
+	want := 1.0 - (1.0+2.0)/(4*14)
+	if !almostEqual(got, want) {
+		t.Fatalf("worked example = %v, want %v", got, want)
+	}
+	// And it must agree with the defining eq. 1 (which Value uses).
+	direct := 4.0/4.0 + 4*3/(2*4*14.0) - float64(0+1+3+5)/(4*14)
+	if !almostEqual(got, direct) {
+		t.Fatalf("eq.1 direct %v != Value %v", direct, got)
+	}
+}
+
+func TestValuePanics(t *testing.T) {
+	s := starSystem(t, 6, 2)
+	for name, f := range map[string]func(){
+		"over quota":   func() { Value(s, 0, []graph.NodeID{1, 2, 3}) },
+		"duplicate":    func() { Value(s, 0, []graph.NodeID{1, 1}) },
+		"non-neighbor": func() { Value(s, 1, []graph.NodeID{2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDeltaStaticDynamicDecomposition(t *testing.T) {
+	// Eq. 4 = eq. 5 static part + dynamic part, for every rank and slot.
+	s := starSystem(t, 10, 4)
+	for _, j := range s.Graph().Neighbors(0) {
+		for q := 0; q < 4; q++ {
+			want := StaticDelta(s, 0, j) + DynamicDelta(s, 0, q)
+			if got := Delta(s, 0, j, q); !almostEqual(got, want) {
+				t.Fatalf("Delta(0,%d,%d) = %v, want %v", j, q, got, want)
+			}
+		}
+	}
+}
+
+func TestDeltaPanicsOnBadSlot(t *testing.T) {
+	s := starSystem(t, 6, 2)
+	for _, q := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("q=%d: expected panic", q)
+				}
+			}()
+			Delta(s, 0, 1, q)
+		}()
+	}
+}
+
+func TestSplitSumsToValue(t *testing.T) {
+	check := func(seed uint64, nRaw, bRaw uint8) bool {
+		n := int(nRaw)%12 + 3
+		b := int(bRaw)%4 + 1
+		s := randomSystem(t, seed, n, 0.5, b)
+		src := rng.New(seed + 2)
+		for i := 0; i < n; i++ {
+			neigh := s.Graph().Neighbors(i)
+			if len(neigh) == 0 {
+				continue
+			}
+			k := min(s.Quota(i), len(neigh))
+			conns := make([]graph.NodeID, 0, k)
+			for _, idx := range src.Sample(len(neigh), k) {
+				conns = append(conns, neigh[idx])
+			}
+			static, dynamic := Split(s, i, conns)
+			if !almostEqual(static+dynamic, Value(s, i, conns)) {
+				return false
+			}
+			if static < -eps || dynamic < -eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModifiedValueEqualsStaticDeltaSum(t *testing.T) {
+	s := starSystem(t, 9, 3)
+	conns := []graph.NodeID{2, 5, 8}
+	var want float64
+	for _, j := range conns {
+		want += StaticDelta(s, 0, j)
+	}
+	if got := ModifiedValue(s, 0, conns); !almostEqual(got, want) {
+		t.Fatalf("ModifiedValue = %v, want %v", got, want)
+	}
+}
+
+func TestLemma1WorstCaseInstance(t *testing.T) {
+	// Lemma 1's proof: with connections drawn from the bottom of the
+	// preference list and ci = bi, the static share equals exactly
+	// (bi+1)/(2Li) / (bi/Li) ... i.e. Sis/(Sis+Sid) = ½(1+1/bi).
+	// Reconstruct that instance and check the arithmetic of the proof.
+	for _, tc := range []struct{ li, bi int }{{4, 2}, {6, 3}, {10, 5}, {7, 1}, {12, 4}} {
+		g := gen.Star(tc.li + 1)
+		lists := make([][]graph.NodeID, tc.li+1)
+		quotas := make([]int, tc.li+1)
+		lists[0] = make([]graph.NodeID, tc.li)
+		for k := 0; k < tc.li; k++ {
+			lists[0][k] = k + 1
+			lists[k+1] = []graph.NodeID{0}
+			quotas[k+1] = 1
+		}
+		quotas[0] = tc.bi
+		s, err := pref.FromRanks(g, lists, quotas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bottom bi of the list: ranks Li−bi .. Li−1.
+		conns := lists[0][tc.li-tc.bi:]
+		static, dynamic := Split(s, 0, conns)
+		wantStatic := (float64(tc.bi) + 1) / (2 * float64(tc.li))
+		wantDynamic := (float64(tc.bi) - 1) / (2 * float64(tc.li))
+		if !almostEqual(static, wantStatic) || !almostEqual(dynamic, wantDynamic) {
+			t.Fatalf("Li=%d bi=%d: split = (%v,%v), want (%v,%v)",
+				tc.li, tc.bi, static, dynamic, wantStatic, wantDynamic)
+		}
+		share := static / (static + dynamic)
+		if !almostEqual(share, Lemma1Bound(tc.bi)) {
+			t.Fatalf("Li=%d bi=%d: static share %v != Lemma1Bound %v",
+				tc.li, tc.bi, share, Lemma1Bound(tc.bi))
+		}
+	}
+}
+
+func TestStaticShareAlwaysAtLeastLemma1Bound(t *testing.T) {
+	// For any connection set, Sis/(Sis+Sid) ≥ ½(1+1/bi) — the lemma
+	// says the reconstructed case is the worst.
+	check := func(seed uint64, nRaw, bRaw uint8) bool {
+		n := int(nRaw)%12 + 3
+		b := int(bRaw)%4 + 1
+		s := randomSystem(t, seed, n, 0.7, b)
+		src := rng.New(seed + 3)
+		for i := 0; i < n; i++ {
+			neigh := s.Graph().Neighbors(i)
+			if len(neigh) == 0 {
+				continue
+			}
+			k := min(s.Quota(i), len(neigh))
+			if k == 0 {
+				continue
+			}
+			kk := src.Intn(k) + 1
+			conns := make([]graph.NodeID, 0, kk)
+			for _, idx := range src.Sample(len(neigh), kk) {
+				conns = append(conns, neigh[idx])
+			}
+			static, dynamic := Split(s, i, conns)
+			if static+dynamic <= eps {
+				continue
+			}
+			if static/(static+dynamic) < Lemma1Bound(s.Quota(i))-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	if !almostEqual(Lemma1Bound(1), 1) {
+		t.Fatalf("Lemma1Bound(1) = %v", Lemma1Bound(1))
+	}
+	if !almostEqual(Lemma1Bound(4), 0.625) {
+		t.Fatalf("Lemma1Bound(4) = %v", Lemma1Bound(4))
+	}
+	if !almostEqual(Theorem3Bound(1), 0.5) {
+		t.Fatalf("Theorem3Bound(1) = %v", Theorem3Bound(1))
+	}
+	if !almostEqual(Theorem3Bound(4), 0.3125) {
+		t.Fatalf("Theorem3Bound(4) = %v", Theorem3Bound(4))
+	}
+	for name, f := range map[string]func(){
+		"lemma1":   func() { Lemma1Bound(0) },
+		"theorem3": func() { Theorem3Bound(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bound with b=0: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

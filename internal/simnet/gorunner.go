@@ -1,0 +1,216 @@
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// GoRunner executes a protocol with one goroutine per node and
+// unbounded mailboxes between them. Unlike Runner it is actually
+// concurrent: interleavings come from the Go scheduler, so running
+// under -race exercises the protocol's per-node isolation. Global
+// termination is detected exactly: the run ends when every node has
+// halted, every mailbox is empty, and no handler is mid-flight.
+type GoRunner struct {
+	n        int
+	timeout  time.Duration
+	timeUnit time.Duration // real duration of one virtual time unit (timers)
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	outstanding int // sent but not yet fully processed messages
+	initPending int // nodes that have not finished Init
+	halted      []bool
+	haltedCount int
+	closed      bool
+
+	boxes []*mailbox
+	stats Stats
+}
+
+// NewGoRunner returns a GoRunner for n nodes. timeout bounds Run's
+// wall-clock duration (a protocol that never terminates globally would
+// otherwise hang); 0 means a 30s default.
+func NewGoRunner(n int, timeout time.Duration) *GoRunner {
+	if n < 0 {
+		panic("simnet: negative node count")
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	r := &GoRunner{
+		n:           n,
+		timeout:     timeout,
+		timeUnit:    time.Millisecond,
+		initPending: n,
+		halted:      make([]bool, n),
+		boxes:       make([]*mailbox, n),
+		stats: Stats{
+			SentByNode:     make([]int, n),
+			ReceivedByNode: make([]int, n),
+			SentByKind:     make(map[string]int),
+		},
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for i := range r.boxes {
+		r.boxes[i] = newMailbox()
+	}
+	return r
+}
+
+type goCtx struct {
+	r  *GoRunner
+	id int
+}
+
+func (c *goCtx) ID() int       { return c.id }
+func (c *goCtx) Time() float64 { return 0 }
+
+func (c *goCtx) Halt() {
+	r := c.r
+	r.mu.Lock()
+	if !r.halted[c.id] {
+		r.halted[c.id] = true
+		r.haltedCount++
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+// SetTimeUnit changes the real duration of one virtual time unit used
+// by timers (default 1ms). Call before Run.
+func (r *GoRunner) SetTimeUnit(d time.Duration) {
+	if d <= 0 {
+		panic("simnet: non-positive time unit")
+	}
+	r.timeUnit = d
+}
+
+// SetTimer implements TimerSetter: msg is pushed back to this node's
+// own mailbox after delay virtual time units of wall-clock time.
+// Pending timers keep the run alive (they count as outstanding work).
+func (c *goCtx) SetTimer(delay float64, msg Message) {
+	if delay <= 0 {
+		panic("simnet: SetTimer needs a positive delay")
+	}
+	r := c.r
+	r.mu.Lock()
+	r.outstanding++
+	r.mu.Unlock()
+	d := time.Duration(delay * float64(r.timeUnit))
+	id := c.id
+	time.AfterFunc(d, func() {
+		r.boxes[id].push(delivery{from: id, msg: msg, timer: true})
+	})
+}
+
+func (c *goCtx) Send(to int, msg Message) {
+	r := c.r
+	if to < 0 || to >= r.n {
+		panic(fmt.Sprintf("simnet: send to %d outside [0,%d)", to, r.n))
+	}
+	r.mu.Lock()
+	r.outstanding++
+	r.stats.SentByNode[c.id]++
+	r.stats.SentByKind[KindOf(msg)]++
+	r.mu.Unlock()
+	r.boxes[to].push(delivery{from: c.id, msg: msg})
+}
+
+// done reports (under r.mu) whether the run has globally terminated.
+func (r *GoRunner) doneLocked() bool {
+	return r.initPending == 0 && r.outstanding == 0 && r.haltedCount == r.n
+}
+
+// Run executes the protocol and blocks until global termination or
+// timeout. On timeout it returns an error describing the stuck nodes.
+func (r *GoRunner) Run(handlers []Handler) (Stats, error) {
+	if len(handlers) != r.n {
+		return r.stats, fmt.Errorf("simnet: %d handlers for %d nodes", len(handlers), r.n)
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < r.n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ctx := &goCtx{r: r, id: id}
+			handlers[id].Init(ctx)
+			r.mu.Lock()
+			r.initPending--
+			r.cond.Broadcast()
+			r.mu.Unlock()
+			for {
+				d, ok := r.boxes[id].pop()
+				if !ok {
+					return
+				}
+				handlers[id].HandleMessage(ctx, d.from, d.msg)
+				r.mu.Lock()
+				r.outstanding--
+				if d.timer {
+					r.stats.TimersFired++
+				} else {
+					r.stats.Deliveries++
+					r.stats.ReceivedByNode[id]++
+				}
+				r.cond.Broadcast()
+				r.mu.Unlock()
+			}
+		}(id)
+	}
+
+	// Watcher: wake on every state change; close mailboxes when done.
+	finished := make(chan struct{})
+	go func() {
+		r.mu.Lock()
+		for !r.doneLocked() && !r.closed {
+			r.cond.Wait()
+		}
+		r.closed = true
+		r.mu.Unlock()
+		for _, b := range r.boxes {
+			b.close()
+		}
+		close(finished)
+	}()
+
+	timer := time.NewTimer(r.timeout)
+	defer timer.Stop()
+	select {
+	case <-finished:
+		wg.Wait()
+		return r.snapshotStats(), nil
+	case <-timer.C:
+		// Force shutdown and report which nodes were stuck.
+		r.mu.Lock()
+		r.closed = true
+		var stuck []int
+		for id, h := range r.halted {
+			if !h {
+				stuck = append(stuck, id)
+			}
+		}
+		r.cond.Broadcast()
+		r.mu.Unlock()
+		for _, b := range r.boxes {
+			b.close()
+		}
+		wg.Wait()
+		<-finished
+		return r.snapshotStats(), fmt.Errorf("simnet: timeout after %v; non-halted nodes: %v", r.timeout, stuck)
+	}
+}
+
+func (r *GoRunner) snapshotStats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.stats
+	out.SentByNode = append([]int(nil), r.stats.SentByNode...)
+	out.ReceivedByNode = append([]int(nil), r.stats.ReceivedByNode...)
+	out.SentByKind = make(map[string]int, len(r.stats.SentByKind))
+	for k, v := range r.stats.SentByKind {
+		out.SentByKind[k] = v
+	}
+	return out
+}

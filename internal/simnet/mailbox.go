@@ -1,0 +1,85 @@
+package simnet
+
+import "sync"
+
+// delivery is one queued message inside a mailbox.
+type delivery struct {
+	from  int
+	msg   Message
+	timer bool // local timer, not a network message
+}
+
+// mailbox is an unbounded MPSC queue: any number of senders Push
+// without ever blocking, one owner Pops. Unboundedness matters: the
+// paper's model assumes reliable asynchronous links, so the transport
+// must never apply backpressure that could entangle protocol waits
+// into artificial deadlocks.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []delivery
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// push enqueues d; it never blocks. Pushing to a closed mailbox drops
+// the message (the owner has stopped reading for good).
+func (mb *mailbox) push(d delivery) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return
+	}
+	mb.items = append(mb.items, d)
+	mb.cond.Signal()
+}
+
+// pop dequeues the oldest message, blocking until one arrives or the
+// mailbox is closed. The second result is false once the mailbox is
+// closed and drained.
+func (mb *mailbox) pop() (delivery, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.items) == 0 && !mb.closed {
+		mb.cond.Wait()
+	}
+	if len(mb.items) == 0 {
+		return delivery{}, false
+	}
+	d := mb.items[0]
+	mb.items = mb.items[1:]
+	return d, true
+}
+
+// tryPop dequeues without blocking; the second result is false if the
+// mailbox is currently empty.
+func (mb *mailbox) tryPop() (delivery, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if len(mb.items) == 0 {
+		return delivery{}, false
+	}
+	d := mb.items[0]
+	mb.items = mb.items[1:]
+	return d, true
+}
+
+// close wakes any blocked pop and makes future pushes no-ops.
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.closed = true
+	mb.cond.Broadcast()
+}
+
+// len reports the number of queued messages.
+func (mb *mailbox) len() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.items)
+}

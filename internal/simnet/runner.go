@@ -1,0 +1,276 @@
+package simnet
+
+import (
+	"fmt"
+
+	"overlaymatch/internal/rng"
+)
+
+// LatencyFunc returns the link latency for one message from -> to. It
+// must be positive. Implementations draw jitter from src, which the
+// Runner seeds deterministically.
+type LatencyFunc func(from, to int, src *rng.Source) float64
+
+// UnitLatency delivers every message after exactly 1 time unit, so the
+// final virtual time equals the longest causal message chain — the
+// "rounds" metric of experiment E6.
+func UnitLatency(int, int, *rng.Source) float64 { return 1 }
+
+// ExponentialLatency returns latencies 1 + Exp(1)·jitter: always
+// positive, unbounded, and different for every message — the harshest
+// asynchrony the termination experiments use.
+func ExponentialLatency(jitter float64) LatencyFunc {
+	return func(_, _ int, src *rng.Source) float64 {
+		return 1 + jitter*src.ExpFloat64()
+	}
+}
+
+// UniformLatency returns latencies uniform in [lo, hi).
+func UniformLatency(lo, hi float64) LatencyFunc {
+	if lo <= 0 || hi < lo {
+		panic("simnet: UniformLatency needs 0 < lo <= hi")
+	}
+	return func(_, _ int, src *rng.Source) float64 {
+		return lo + (hi-lo)*src.Float64()
+	}
+}
+
+// DropFunc decides whether one message from -> to is lost in transit.
+// Timers are never dropped.
+type DropFunc func(from, to int, src *rng.Source) bool
+
+// UniformDrop loses every message independently with probability p.
+func UniformDrop(p float64) DropFunc {
+	if p < 0 || p >= 1 {
+		panic("simnet: UniformDrop needs 0 <= p < 1")
+	}
+	return func(_, _ int, src *rng.Source) bool { return src.Bool(p) }
+}
+
+// Options configures a Runner.
+type Options struct {
+	// Seed drives all randomness (latency jitter, drops). Runs with
+	// equal seeds and workloads are identical.
+	Seed uint64
+	// Latency models per-message delay; nil means UnitLatency.
+	Latency LatencyFunc
+	// Drop models message loss; nil means a lossless network. The
+	// paper's model assumes reliable links — package reliable restores
+	// that assumption on top of a lossy Drop.
+	Drop DropFunc
+	// Trace, if non-nil, receives every delivery in order.
+	Trace func(TraceEntry)
+	// MaxDeliveries aborts a run that exceeds this many deliveries
+	// (default 0 = no limit); the guard the non-termination tests use.
+	MaxDeliveries int
+	// Quiesce makes Run return successfully when the event queue
+	// drains even if nodes never called Halt — the mode for long-lived
+	// maintenance protocols (package dlid) that idle between injected
+	// events rather than terminating.
+	Quiesce bool
+}
+
+// Runner is the deterministic discrete-event simulator.
+type Runner struct {
+	n       int
+	opts    Options
+	src     *rng.Source
+	queue   eventQueue
+	seq     int
+	halted  []bool
+	stats   Stats
+	running bool
+}
+
+type event struct {
+	time     float64
+	seq      int // FIFO tie-break: lower seq delivered first at equal times
+	from, to int
+	msg      Message
+	timer    bool // local timer delivery, not a network message
+}
+
+// eventQueue is a binary min-heap ordered by (time, seq). It is
+// hand-rolled rather than container/heap because the interface{}
+// boxing there costs one allocation per message — measurably the
+// hottest path of large event-driven runs.
+type eventQueue []event
+
+func (q eventQueue) less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release references for GC
+	*q = h[:n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+// NewRunner returns a Runner for n nodes.
+func NewRunner(n int, opts Options) *Runner {
+	if n < 0 {
+		panic("simnet: negative node count")
+	}
+	if opts.Latency == nil {
+		opts.Latency = UnitLatency
+	}
+	return &Runner{
+		n:      n,
+		opts:   opts,
+		src:    rng.New(opts.Seed),
+		halted: make([]bool, n),
+		stats: Stats{
+			SentByNode:     make([]int, n),
+			ReceivedByNode: make([]int, n),
+			SentByKind:     make(map[string]int),
+		},
+	}
+}
+
+// runnerCtx implements Context for one delivery.
+type runnerCtx struct {
+	r    *Runner
+	id   int
+	time float64
+}
+
+func (c *runnerCtx) ID() int       { return c.id }
+func (c *runnerCtx) Time() float64 { return c.time }
+func (c *runnerCtx) Halt()         { c.r.halted[c.id] = true }
+
+func (c *runnerCtx) Send(to int, msg Message) {
+	r := c.r
+	if to < 0 || to >= r.n {
+		panic(fmt.Sprintf("simnet: send to %d outside [0,%d)", to, r.n))
+	}
+	r.stats.SentByNode[c.id]++
+	r.stats.SentByKind[KindOf(msg)]++
+	if r.opts.Drop != nil && r.opts.Drop(c.id, to, r.src) {
+		r.stats.Dropped++
+		return
+	}
+	lat := r.opts.Latency(c.id, to, r.src)
+	if lat <= 0 {
+		panic("simnet: non-positive latency")
+	}
+	r.seq++
+	r.queue.push(event{time: c.time + lat, seq: r.seq, from: c.id, to: to, msg: msg})
+}
+
+// SetTimer implements TimerSetter: deliver msg back to this node after
+// delay time units. Timers are exempt from the loss model and from the
+// network message statistics.
+func (c *runnerCtx) SetTimer(delay float64, msg Message) {
+	if delay <= 0 {
+		panic("simnet: SetTimer needs a positive delay")
+	}
+	r := c.r
+	r.seq++
+	r.queue.push(event{time: c.time + delay, seq: r.seq, from: c.id, to: c.id, msg: msg, timer: true})
+}
+
+// Run executes the protocol: Init on every node (in ID order, at time
+// 0), then deliveries in (time, seq) order until the queue drains. It
+// returns the run statistics and an error if MaxDeliveries was
+// exceeded or if the queue drained while some node had not halted
+// (which for a correct protocol means a node is waiting forever — the
+// situation Lemma 5 excludes for LID).
+func (r *Runner) Run(handlers []Handler) (Stats, error) {
+	if len(handlers) != r.n {
+		return r.stats, fmt.Errorf("simnet: %d handlers for %d nodes", len(handlers), r.n)
+	}
+	if r.running {
+		return r.stats, fmt.Errorf("simnet: Runner is single-use")
+	}
+	r.running = true
+	for id := 0; id < r.n; id++ {
+		handlers[id].Init(&runnerCtx{r: r, id: id, time: 0})
+	}
+	// ctx is reused across deliveries: Contexts are documented as only
+	// valid for the duration of the handler call, and reusing the one
+	// allocation removes per-delivery garbage.
+	ctx := &runnerCtx{r: r}
+	for len(r.queue) > 0 {
+		e := r.queue.pop()
+		if r.opts.MaxDeliveries > 0 && r.stats.Deliveries+r.stats.TimersFired >= r.opts.MaxDeliveries {
+			return r.stats, fmt.Errorf("simnet: exceeded %d deliveries", r.opts.MaxDeliveries)
+		}
+		if e.timer {
+			r.stats.TimersFired++
+		} else {
+			r.stats.Deliveries++
+			r.stats.ReceivedByNode[e.to]++
+		}
+		if e.time > r.stats.FinalTime {
+			r.stats.FinalTime = e.time
+		}
+		if r.opts.Trace != nil {
+			r.opts.Trace(TraceEntry{Time: e.time, From: e.from, To: e.to, Msg: e.msg})
+		}
+		ctx.id, ctx.time = e.to, e.time
+		handlers[e.to].HandleMessage(ctx, e.from, e.msg)
+	}
+	if !r.opts.Quiesce {
+		for id, h := range r.halted {
+			if !h {
+				return r.stats, fmt.Errorf("simnet: node %d never halted (deadlock)", id)
+			}
+		}
+	}
+	return r.stats, nil
+}
+
+// Schedule enqueues an external command to be delivered to node `to`
+// at the given virtual time (from == to, like a timer). Call before
+// Run; commands model environment events such as churn. Scheduling
+// after Run has started panics.
+func (r *Runner) Schedule(at float64, to int, msg Message) {
+	if r.running {
+		panic("simnet: Schedule after Run started")
+	}
+	if to < 0 || to >= r.n {
+		panic(fmt.Sprintf("simnet: Schedule to %d outside [0,%d)", to, r.n))
+	}
+	if at < 0 {
+		panic("simnet: Schedule with negative time")
+	}
+	r.seq++
+	r.queue.push(event{time: at, seq: r.seq, from: to, to: to, msg: msg, timer: true})
+}

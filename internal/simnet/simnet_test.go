@@ -1,0 +1,369 @@
+package simnet
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// floodMsg is the token of the flood test protocol.
+type floodMsg struct{ hop int }
+
+func (floodMsg) Kind() string { return "FLOOD" }
+
+// floodHandler: node 0 sends one token to every neighbor at Init and
+// halts; other nodes halt upon first token and forward nothing. Total
+// messages = deg(0).
+type floodHandler struct {
+	neighbors []int
+	gotToken  bool
+}
+
+func (h *floodHandler) Init(ctx Context) {
+	if ctx.ID() == 0 {
+		for _, nb := range h.neighbors {
+			ctx.Send(nb, floodMsg{hop: 1})
+		}
+	}
+	if ctx.ID() == 0 || len(h.neighbors) == 0 {
+		ctx.Halt()
+	}
+}
+
+func (h *floodHandler) HandleMessage(ctx Context, from int, msg Message) {
+	h.gotToken = true
+	ctx.Halt()
+}
+
+// starHandlers builds flood handlers for a star centered at 0.
+func starHandlers(n int) []Handler {
+	hs := make([]Handler, n)
+	var center []int
+	for i := 1; i < n; i++ {
+		center = append(center, i)
+	}
+	hs[0] = &floodHandler{neighbors: center}
+	for i := 1; i < n; i++ {
+		hs[i] = &floodHandler{neighbors: []int{0}}
+	}
+	return hs
+}
+
+func TestRunnerFlood(t *testing.T) {
+	const n = 6
+	r := NewRunner(n, Options{Seed: 1})
+	stats, err := r.Run(starHandlers(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalSent() != n-1 || stats.Deliveries != n-1 {
+		t.Fatalf("sent %d delivered %d, want %d", stats.TotalSent(), stats.Deliveries, n-1)
+	}
+	if stats.SentByNode[0] != n-1 || stats.SentByNode[1] != 0 {
+		t.Fatalf("per-node sends wrong: %v", stats.SentByNode)
+	}
+	if stats.ReceivedByNode[0] != 0 || stats.ReceivedByNode[3] != 1 {
+		t.Fatalf("per-node receives wrong: %v", stats.ReceivedByNode)
+	}
+	if stats.SentByKind["FLOOD"] != n-1 {
+		t.Fatalf("kind accounting wrong: %v", stats.SentByKind)
+	}
+	if stats.FinalTime != 1 { // unit latency
+		t.Fatalf("final time %v, want 1", stats.FinalTime)
+	}
+}
+
+func TestRunnerDeterministicTrace(t *testing.T) {
+	run := func() []TraceEntry {
+		var trace []TraceEntry
+		r := NewRunner(6, Options{
+			Seed:    42,
+			Latency: ExponentialLatency(2.0),
+			Trace:   func(e TraceEntry) { trace = append(trace, e) },
+		})
+		if _, err := r.Run(starHandlers(6)); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatal("equal seeds produced different traces")
+	}
+}
+
+func TestRunnerSeedChangesOrder(t *testing.T) {
+	order := func(seed uint64) []int {
+		var to []int
+		r := NewRunner(8, Options{
+			Seed:    seed,
+			Latency: ExponentialLatency(5),
+			Trace:   func(e TraceEntry) { to = append(to, e.To) },
+		})
+		if _, err := r.Run(starHandlers(8)); err != nil {
+			t.Fatal(err)
+		}
+		return to
+	}
+	if reflect.DeepEqual(order(1), order(2)) {
+		t.Fatal("different seeds gave identical delivery orders (suspicious)")
+	}
+}
+
+// stubborn never halts and sends nothing.
+type stubborn struct{}
+
+func (stubborn) Init(Context)                        {}
+func (stubborn) HandleMessage(Context, int, Message) {}
+
+func TestRunnerDetectsNonHaltedNode(t *testing.T) {
+	r := NewRunner(2, Options{Seed: 1})
+	_, err := r.Run([]Handler{stubborn{}, stubborn{}})
+	if err == nil || !strings.Contains(err.Error(), "never halted") {
+		t.Fatalf("err = %v, want deadlock detection", err)
+	}
+}
+
+// pingpong bounces a message between nodes 0 and 1 forever.
+type pingpong struct{}
+
+func (pingpong) Init(ctx Context) {
+	if ctx.ID() == 0 {
+		ctx.Send(1, "ping")
+	}
+}
+func (pingpong) HandleMessage(ctx Context, from int, msg Message) {
+	ctx.Send(from, msg)
+}
+
+func TestRunnerMaxDeliveriesGuard(t *testing.T) {
+	r := NewRunner(2, Options{Seed: 1, MaxDeliveries: 100})
+	_, err := r.Run([]Handler{pingpong{}, pingpong{}})
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("err = %v, want delivery-cap error", err)
+	}
+}
+
+func TestRunnerHandlerCountMismatch(t *testing.T) {
+	r := NewRunner(3, Options{})
+	if _, err := r.Run([]Handler{stubborn{}}); err == nil {
+		t.Fatal("expected handler count error")
+	}
+}
+
+func TestRunnerSingleUse(t *testing.T) {
+	r := NewRunner(1, Options{})
+	h := []Handler{&floodHandler{}}
+	if _, err := r.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(h); err == nil {
+		t.Fatal("second Run should error")
+	}
+}
+
+func TestRunnerSendOutOfRangePanics(t *testing.T) {
+	r := NewRunner(1, Options{})
+	bad := handlerFunc{
+		init: func(ctx Context) { ctx.Send(5, "x") },
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_, _ = r.Run([]Handler{bad})
+}
+
+// handlerFunc adapts closures to Handler.
+type handlerFunc struct {
+	init   func(Context)
+	handle func(Context, int, Message)
+}
+
+func (h handlerFunc) Init(ctx Context) {
+	if h.init != nil {
+		h.init(ctx)
+	}
+}
+func (h handlerFunc) HandleMessage(ctx Context, from int, msg Message) {
+	if h.handle != nil {
+		h.handle(ctx, from, msg)
+	}
+}
+
+func TestLatencyFuncs(t *testing.T) {
+	if UnitLatency(0, 1, nil) != 1 {
+		t.Fatal("unit latency != 1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UniformLatency(0,..) should panic")
+		}
+	}()
+	UniformLatency(0, 1)
+}
+
+func TestGoRunnerFlood(t *testing.T) {
+	const n = 10
+	r := NewGoRunner(n, 10*time.Second)
+	stats, err := r.Run(starHandlers(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalSent() != n-1 || stats.Deliveries != n-1 {
+		t.Fatalf("sent %d delivered %d, want %d", stats.TotalSent(), stats.Deliveries, n-1)
+	}
+	if stats.SentByKind["FLOOD"] != n-1 {
+		t.Fatalf("kind accounting: %v", stats.SentByKind)
+	}
+}
+
+func TestGoRunnerTimeoutOnStuckProtocol(t *testing.T) {
+	r := NewGoRunner(2, 200*time.Millisecond)
+	_, err := r.Run([]Handler{stubborn{}, stubborn{}})
+	if err == nil || !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if !strings.Contains(err.Error(), "[0 1]") {
+		t.Fatalf("err should name stuck nodes: %v", err)
+	}
+}
+
+// chainHandler forwards a counter down a line of nodes; node n-1 halts
+// the chain. Every node halts after its part. Exercises cross-node
+// sequencing in the concurrent runtime.
+type chainHandler struct{ n int }
+
+func (h chainHandler) Init(ctx Context) {
+	if ctx.ID() == 0 {
+		ctx.Send(1, 1)
+		ctx.Halt()
+	}
+}
+
+func (h chainHandler) HandleMessage(ctx Context, from int, msg Message) {
+	v := msg.(int)
+	if next := ctx.ID() + 1; next < h.n {
+		ctx.Send(next, v+1)
+	}
+	ctx.Halt()
+}
+
+func TestGoRunnerChain(t *testing.T) {
+	const n = 50
+	hs := make([]Handler, n)
+	for i := range hs {
+		hs[i] = chainHandler{n: n}
+	}
+	r := NewGoRunner(n, 10*time.Second)
+	stats, err := r.Run(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Deliveries != n-1 {
+		t.Fatalf("deliveries = %d, want %d", stats.Deliveries, n-1)
+	}
+}
+
+func TestGoRunnerHandlerCountMismatch(t *testing.T) {
+	r := NewGoRunner(2, time.Second)
+	if _, err := r.Run([]Handler{stubborn{}}); err == nil {
+		t.Fatal("expected handler count error")
+	}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	mb := newMailbox()
+	for i := 0; i < 10; i++ {
+		mb.push(delivery{from: i})
+	}
+	if mb.len() != 10 {
+		t.Fatalf("len = %d", mb.len())
+	}
+	for i := 0; i < 10; i++ {
+		d, ok := mb.pop()
+		if !ok || d.from != i {
+			t.Fatalf("pop %d = (%v,%v)", i, d.from, ok)
+		}
+	}
+	if _, ok := mb.tryPop(); ok {
+		t.Fatal("tryPop on empty should fail")
+	}
+}
+
+func TestMailboxCloseUnblocksPop(t *testing.T) {
+	mb := newMailbox()
+	done := make(chan bool)
+	go func() {
+		_, ok := mb.pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	mb.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("pop on closed empty mailbox returned ok")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not unblock on close")
+	}
+	// Pushes after close are dropped.
+	mb.push(delivery{from: 1})
+	if mb.len() != 0 {
+		t.Fatal("push after close was queued")
+	}
+}
+
+func TestMailboxConcurrentPushers(t *testing.T) {
+	mb := newMailbox()
+	const pushers, each = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				mb.push(delivery{from: p, msg: i})
+			}
+		}(p)
+	}
+	last := make(map[int]int)
+	for p := 0; p < pushers; p++ {
+		last[p] = -1
+	}
+	for i := 0; i < pushers*each; i++ {
+		d, ok := mb.pop()
+		if !ok {
+			t.Fatal("pop failed mid-stream")
+		}
+		// Per-sender FIFO: each pusher's messages arrive in push order.
+		if v := d.msg.(int); v != last[d.from]+1 {
+			t.Fatalf("per-sender order violated for %d: got %d after %d", d.from, v, last[d.from])
+		} else {
+			last[d.from] = v
+		}
+	}
+	wg.Wait()
+	if mb.len() != 0 {
+		t.Fatal("messages left over")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := Stats{SentByNode: []int{3, 1, 4}}
+	if s.TotalSent() != 8 || s.MaxSentByNode() != 4 {
+		t.Fatalf("TotalSent/Max = %d/%d", s.TotalSent(), s.MaxSentByNode())
+	}
+	if KindOf("plain") != "" {
+		t.Fatal("plain message should have empty kind")
+	}
+	if KindOf(floodMsg{}) != "FLOOD" {
+		t.Fatal("kinder not honored")
+	}
+	if !strings.Contains(s.String(), "sent=8") {
+		t.Fatalf("String = %q", s.String())
+	}
+}

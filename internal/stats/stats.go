@@ -1,0 +1,176 @@
+// Package stats provides the descriptive statistics and table
+// rendering the experiment harness uses to report results: summaries
+// (mean, standard deviation, percentiles, min/max), Jain's fairness
+// index for per-node satisfaction vectors, histograms, and
+// Markdown/CSV table writers. Stdlib only, no plotting — experiment
+// outputs are text tables and CSV series, as EXPERIMENTS.md records.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	P25    float64
+	Median float64
+	P75    float64
+	P95    float64
+}
+
+// Summarize computes a Summary. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	mean := sum / float64(len(sorted))
+	var ss float64
+	for _, x := range sorted {
+		d := x - mean
+		ss += d * d
+	}
+	std := 0.0
+	if len(sorted) > 1 {
+		std = math.Sqrt(ss / float64(len(sorted)-1))
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		Std:    std,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P25:    Percentile(sorted, 0.25),
+		Median: Percentile(sorted, 0.50),
+		P75:    Percentile(sorted, 0.75),
+		P95:    Percentile(sorted, 0.95),
+	}
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of an ascending-sorted
+// sample using linear interpolation between closest ranks. It panics
+// on an empty sample or p outside [0,1].
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("stats: Percentile with p=%v", p))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sum returns the total of the sample.
+func Sum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Min returns the smallest element; it panics on an empty sample.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty sample")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element; it panics on an empty sample.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty sample")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// JainFairness returns Jain's fairness index (Σx)²/(n·Σx²) of a
+// non-negative sample: 1 for perfectly equal allocations, 1/n when one
+// node takes everything. An all-zero or empty sample returns 1 (vacuous
+// equality).
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < 0 || math.IsNaN(x) {
+			panic("stats: JainFairness needs non-negative values")
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Histogram counts a sample into `bins` equal-width buckets spanning
+// [lo, hi]; values outside clamp to the first/last bucket. It panics
+// unless bins ≥ 1 and hi > lo.
+func Histogram(xs []float64, lo, hi float64, bins int) []int {
+	if bins < 1 || hi <= lo {
+		panic("stats: Histogram needs bins >= 1 and hi > lo")
+	}
+	counts := make([]int, bins)
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	return counts
+}

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !almostEqual(s.Mean, 5) {
+		t.Fatalf("N/mean = %d/%v", s.N, s.Mean)
+	}
+	// Sample std of this classic sample: sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); !almostEqual(s.Std, want) {
+		t.Fatalf("std = %v, want %v", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if !almostEqual(s.Median, 4.5) {
+		t.Fatalf("median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatal("empty summary nonzero")
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 || s.P95 != 7 {
+		t.Fatalf("single-sample summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := map[float64]float64{0: 10, 1: 40, 0.5: 25, 0.25: 17.5}
+	for p, want := range cases {
+		if got := Percentile(sorted, p); !almostEqual(got, want) {
+			t.Fatalf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	for name, f := range map[string]func(){
+		"empty": func() { Percentile(nil, 0.5) },
+		"p<0":   func() { Percentile(sorted, -0.1) },
+		"p>1":   func() { Percentile(sorted, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	check := func(seedVals []float64) bool {
+		if len(seedVals) == 0 {
+			return true
+		}
+		sorted := append([]float64(nil), seedVals...)
+		for i := range sorted {
+			if math.IsNaN(sorted[i]) || math.IsInf(sorted[i], 0) {
+				sorted[i] = 0
+			}
+		}
+		sortFloats(sorted)
+		last := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.1 {
+			v := Percentile(sorted, p)
+			if v < last-1e-12 {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestMeanSumMinMax(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 || Sum(xs) != 10 || Min(xs) != 1 || Max(xs) != 4 {
+		t.Fatal("basic aggregates wrong")
+	}
+	if Mean(nil) != 0 || Sum(nil) != 0 {
+		t.Fatal("empty aggregates wrong")
+	}
+	for name, f := range map[string]func(){
+		"min": func() { Min(nil) },
+		"max": func() { Max(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s of empty: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if !almostEqual(JainFairness([]float64{5, 5, 5}), 1) {
+		t.Fatal("equal allocation should be 1")
+	}
+	// One node takes all: 1/n.
+	if !almostEqual(JainFairness([]float64{9, 0, 0}), 1.0/3) {
+		t.Fatal("single-taker should be 1/n")
+	}
+	if !almostEqual(JainFairness(nil), 1) || !almostEqual(JainFairness([]float64{0, 0}), 1) {
+		t.Fatal("degenerate cases should be 1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative value should panic")
+		}
+	}()
+	JainFairness([]float64{1, -1})
+}
+
+func TestJainFairnessRange(t *testing.T) {
+	check := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		f := JainFairness(xs)
+		return f >= 1.0/float64(len(xs))-1e-9 && f <= 1+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts := Histogram([]float64{0.1, 0.2, 0.6, 0.9, -5, 7}, 0, 1, 2)
+	// Bucket 0: 0.1, 0.2, -5(clamped) = 3; bucket 1: 0.6, 0.9, 7(clamped) = 3.
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Fatalf("histogram = %v", counts)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad params should panic")
+		}
+	}()
+	Histogram(nil, 1, 0, 3)
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := NewTable("T1: demo", "name", "count", "ratio")
+	t.AddRowf("alpha", 3, 0.5)
+	t.AddRowf("beta, the 2nd", 12, 0.25)
+	return t
+}
+
+func TestTableText(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"T1: demo", "name", "count", "ratio", "alpha", "12", "0.25"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Alignment: the header and the first data row start columns at the
+	// same offsets.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	if strings.Index(lines[1], "count") != strings.Index(lines[3], "3")-0 &&
+		!strings.Contains(lines[3], "3") {
+		t.Fatalf("column misalignment:\n%s", out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"### T1: demo", "| name | count | ratio |", "| --- | --- | --- |", "| alpha | 3 | 0.5 |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "name,count,ratio\n") {
+		t.Fatalf("csv header wrong:\n%s", out)
+	}
+	// Comma-containing cell must be quoted.
+	if !strings.Contains(out, `"beta, the 2nd"`) {
+		t.Fatalf("csv quoting wrong:\n%s", out)
+	}
+}
+
+func TestTableCSVQuoteEscaping(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.AddRow(`say "hi"`)
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"say ""hi"""`) {
+		t.Fatalf("quote escaping wrong: %s", b.String())
+	}
+}
+
+func TestTableArityPanic(t *testing.T) {
+	tbl := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	tbl.AddRow("only one")
+}
+
+func TestTableAccessors(t *testing.T) {
+	tbl := sampleTable()
+	if tbl.Title() != "T1: demo" || tbl.NumRows() != 2 {
+		t.Fatalf("accessors wrong: %q %d", tbl.Title(), tbl.NumRows())
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.AddRow("1")
+	var b strings.Builder
+	if err := tbl.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(b.String(), "\n") {
+		t.Fatal("empty title should not emit a blank line")
+	}
+}

@@ -1,0 +1,110 @@
+// Package trace records and renders protocol executions: a Collector
+// captures every delivery from the event simulator, and renderers turn
+// the capture into (a) a human-readable message-sequence log, (b) a
+// per-kind/per-time summary, and (c) Graphviz DOT of the final overlay
+// (potential edges gray, locked connections bold, labelled with their
+// eq.-9 weights). cmd/overlaysim exposes all three.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"overlaymatch/internal/matching"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+)
+
+// Collector accumulates deliveries; plug its Record method into
+// simnet.Options.Trace. Not safe for concurrent use (the event Runner
+// is single-threaded).
+type Collector struct {
+	entries []simnet.TraceEntry
+}
+
+// Record implements the simnet trace callback.
+func (c *Collector) Record(e simnet.TraceEntry) {
+	c.entries = append(c.entries, e)
+}
+
+// Len returns the number of recorded deliveries.
+func (c *Collector) Len() int { return len(c.entries) }
+
+// Entries returns the recorded deliveries in delivery order.
+func (c *Collector) Entries() []simnet.TraceEntry { return c.entries }
+
+// WriteLog renders the message-sequence log: one line per delivery,
+// time-ordered, e.g. "  3.42  7 -> 12  PROP".
+func (c *Collector) WriteLog(w io.Writer) error {
+	var b strings.Builder
+	for _, e := range c.entries {
+		kind := simnet.KindOf(e.Msg)
+		if kind == "" {
+			kind = fmt.Sprintf("%v", e.Msg)
+		}
+		fmt.Fprintf(&b, "%8.3f  %4d -> %-4d %s\n", e.Time, e.From, e.To, kind)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Summary aggregates the capture per message kind.
+type Summary struct {
+	Kind      string
+	Count     int
+	FirstTime float64
+	LastTime  float64
+}
+
+// Summarize returns per-kind aggregates sorted by kind.
+func (c *Collector) Summarize() []Summary {
+	agg := map[string]*Summary{}
+	for _, e := range c.entries {
+		kind := simnet.KindOf(e.Msg)
+		s, ok := agg[kind]
+		if !ok {
+			s = &Summary{Kind: kind, FirstTime: e.Time}
+			agg[kind] = s
+		}
+		s.Count++
+		if e.Time < s.FirstTime {
+			s.FirstTime = e.Time
+		}
+		if e.Time > s.LastTime {
+			s.LastTime = e.Time
+		}
+	}
+	out := make([]Summary, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// WriteDOT renders the overlay and its matching as Graphviz DOT:
+// every potential edge in light gray, locked connections bold with
+// their eq.-9 weight as label, nodes annotated "id (ci/bi)".
+func WriteDOT(w io.Writer, s *pref.System, m *matching.Matching) error {
+	var b strings.Builder
+	b.WriteString("graph overlay {\n")
+	b.WriteString("  layout=neato;\n  node [shape=circle, fontsize=10];\n")
+	g := s.Graph()
+	for i := 0; i < g.NumNodes(); i++ {
+		fmt.Fprintf(&b, "  %d [label=\"%d (%d/%d)\"];\n", i, i, m.DegreeOf(i), s.Quota(i))
+	}
+	for _, e := range g.Edges() {
+		if m.Has(e.U, e.V) {
+			fmt.Fprintf(&b, "  %d -- %d [penwidth=2.2, label=\"%.3f\", fontsize=8];\n",
+				e.U, e.V, satisfaction.EdgeWeight(s, e))
+		} else {
+			fmt.Fprintf(&b, "  %d -- %d [color=gray80];\n", e.U, e.V)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"overlaymatch/internal/gen"
+	"overlaymatch/internal/lid"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/rng"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+)
+
+func tracedRun(t *testing.T) (*Collector, *pref.System, lid.Result) {
+	t.Helper()
+	src := rng.New(3)
+	g := gen.GNP(src, 15, 0.4)
+	s, err := pref.Build(g, pref.NewRandomMetric(src.Split()), pref.UniformQuota(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := satisfaction.NewTable(s)
+	var c Collector
+	res, err := lid.RunEvent(s, tbl, simnet.Options{
+		Seed:    1,
+		Latency: simnet.ExponentialLatency(2),
+		Trace:   c.Record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &c, s, res
+}
+
+func TestCollectorCapturesEveryDelivery(t *testing.T) {
+	c, _, res := tracedRun(t)
+	if c.Len() != res.Stats.Deliveries {
+		t.Fatalf("captured %d, delivered %d", c.Len(), res.Stats.Deliveries)
+	}
+	// Deliveries arrive in nondecreasing time order.
+	for i := 1; i < len(c.Entries()); i++ {
+		if c.Entries()[i].Time < c.Entries()[i-1].Time {
+			t.Fatal("trace out of time order")
+		}
+	}
+}
+
+func TestWriteLog(t *testing.T) {
+	c, _, _ := tracedRun(t)
+	var b strings.Builder
+	if err := c.WriteLog(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "PROP") {
+		t.Fatalf("log missing PROP lines:\n%.200s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != c.Len() {
+		t.Fatalf("log has %d lines for %d entries", lines, c.Len())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	c, _, res := tracedRun(t)
+	sums := c.Summarize()
+	byKind := map[string]Summary{}
+	total := 0
+	for _, s := range sums {
+		byKind[s.Kind] = s
+		total += s.Count
+	}
+	if total != res.Stats.Deliveries {
+		t.Fatalf("summary total %d != deliveries %d", total, res.Stats.Deliveries)
+	}
+	if byKind["PROP"].Count == 0 {
+		t.Fatal("no PROP messages summarized")
+	}
+	if p := byKind["PROP"]; p.FirstTime > p.LastTime {
+		t.Fatal("first/last times inverted")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	_, s, res := tracedRun(t)
+	var b strings.Builder
+	if err := WriteDOT(&b, s, res.Matching); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "graph overlay {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatal("not a DOT document")
+	}
+	if strings.Count(out, "penwidth") != res.Matching.Size() {
+		t.Fatalf("bold edges %d != matching size %d",
+			strings.Count(out, "penwidth"), res.Matching.Size())
+	}
+	if strings.Count(out, " -- ") != s.Graph().NumEdges() {
+		t.Fatal("edge count mismatch in DOT")
+	}
+}

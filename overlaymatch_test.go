@@ -1,0 +1,239 @@
+package overlaymatch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBuildValidation(t *testing.T) {
+	cases := map[string]Spec{
+		"negative nodes": {NumNodes: -1, Metric: func(i, j int) float64 { return 0 }},
+		"no prefs":       {NumNodes: 3, Edges: []Edge{{0, 1}}},
+		"both prefs": {NumNodes: 2, Edges: []Edge{{0, 1}},
+			Metric: func(i, j int) float64 { return 0 }, Lists: [][]int{{1}, {0}}},
+		"bad edge": {NumNodes: 2, Edges: []Edge{{0, 5}},
+			Metric: func(i, j int) float64 { return 0 }},
+		"self loop": {NumNodes: 2, Edges: []Edge{{1, 1}},
+			Metric: func(i, j int) float64 { return 0 }},
+		"bad list": {NumNodes: 3, Edges: []Edge{{0, 1}},
+			Lists: [][]int{{1, 2}, {0}, {}}},
+	}
+	for name, spec := range cases {
+		if _, err := Build(spec); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustBuild(Spec{NumNodes: 1})
+}
+
+func demoNetwork(t testing.TB) *Network {
+	t.Helper()
+	return MustBuild(Spec{
+		NumNodes: 60,
+		Edges:    RandomEdges(7, 60, 0.15),
+		Quota:    func(i int) int { return 2 },
+		Metric:   func(i, j int) float64 { return float64((i*31 + j*17) % 97) },
+	})
+}
+
+func TestAccessors(t *testing.T) {
+	n := demoNetwork(t)
+	if n.NumNodes() != 60 || n.NumEdges() == 0 {
+		t.Fatal("sizes wrong")
+	}
+	if q := n.Quota(0); q < 0 || q > 2 {
+		t.Fatalf("quota = %d", q)
+	}
+	if len(n.PreferenceList(0)) > 0 {
+		// Most preferred first: each successive neighbor scores <=.
+		list := n.PreferenceList(0)
+		for k := 0; k+1 < len(list); k++ {
+			a := float64((0*31 + list[k]*17) % 97)
+			b := float64((0*31 + list[k+1]*17) % 97)
+			if a < b {
+				t.Fatal("preference list not descending by metric")
+			}
+		}
+	}
+	if b := n.ApproximationBound(); math.Abs(b-0.25*(1+0.5)) > 1e-12 {
+		t.Fatalf("bound = %v", b)
+	}
+}
+
+func TestDistributedCentralizedAgree(t *testing.T) {
+	n := demoNetwork(t)
+	cent := n.RunCentralized()
+	dist, err := n.RunDistributed(RunOptions{Seed: 1, LatencyJitter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goRes, err := n.RunDistributedGoroutines(20 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cent.Weight() != dist.Weight() || cent.Weight() != goRes.Weight() {
+		t.Fatal("runtimes disagree on weight")
+	}
+	if cent.NumConnections() != dist.NumConnections() {
+		t.Fatal("runtimes disagree on size")
+	}
+	for i := 0; i < n.NumNodes(); i++ {
+		a, b := cent.Connections(i), dist.Connections(i)
+		if len(a) != len(b) {
+			t.Fatalf("node %d connection counts differ", i)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("node %d connections differ", i)
+			}
+		}
+	}
+}
+
+func TestResultStatistics(t *testing.T) {
+	n := demoNetwork(t)
+	r, err := n.RunDistributed(RunOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PropMessages == 0 {
+		t.Fatal("no proposals counted")
+	}
+	if r.PropMessages+r.RejMessages > 2*n.NumEdges() {
+		t.Fatal("message bound violated")
+	}
+	if r.Rounds <= 0 {
+		t.Fatal("rounds not recorded")
+	}
+	if len(r.MessagesByNode) != n.NumNodes() {
+		t.Fatal("per-node messages missing")
+	}
+	cent := n.RunCentralized()
+	if cent.PropMessages != 0 || cent.MessagesByNode != nil {
+		t.Fatal("centralized run should have no message stats")
+	}
+}
+
+func TestSatisfactionInRangeAndConsistent(t *testing.T) {
+	n := demoNetwork(t)
+	r := n.RunCentralized()
+	var total float64
+	for i := 0; i < n.NumNodes(); i++ {
+		s := r.Satisfaction(i)
+		if s < -1e-12 || s > 1+1e-12 {
+			t.Fatalf("satisfaction %v out of range", s)
+		}
+		total += s
+	}
+	if math.Abs(total-r.TotalSatisfaction()) > 1e-9 {
+		t.Fatal("per-node sum != total")
+	}
+	// Theorem 3 sanity: satisfaction is at least bound × an upper bound
+	// proxy cannot be checked without the oracle here; check positivity
+	// and that connections respect Matched symmetry instead.
+	for _, e := range r.Edges() {
+		if !r.Matched(e.U, e.V) || !r.Matched(e.V, e.U) {
+			t.Fatal("Matched not symmetric")
+		}
+	}
+}
+
+func TestExplicitListsSpec(t *testing.T) {
+	// Triangle with explicit cyclic preferences, quota 1: the public
+	// API must accept explicit lists and produce a single connection.
+	n := MustBuild(Spec{
+		NumNodes: 3,
+		Edges:    []Edge{{0, 1}, {1, 2}, {0, 2}},
+		Lists:    [][]int{{1, 2}, {2, 0}, {0, 1}},
+	})
+	if n.Acyclic() {
+		t.Fatal("cyclic triangle reported acyclic")
+	}
+	r, err := n.RunDistributed(RunOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumConnections() != 1 {
+		t.Fatalf("connections = %d, want 1", r.NumConnections())
+	}
+}
+
+func TestGeneratorsProduceValidSpecs(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%30 + 5
+		for _, edges := range [][]Edge{
+			RandomEdges(seed, n, 0.3),
+			ScaleFreeEdges(seed, n, 2),
+			RingEdges(n),
+			GridEdges(3, n/3+1),
+		} {
+			net, err := Build(Spec{
+				NumNodes: maxNode(edges) + 1,
+				Edges:    edges,
+				Metric:   func(i, j int) float64 { return float64(j) },
+			})
+			if err != nil || net == nil {
+				return false
+			}
+		}
+		geo, pts := GeometricEdges(seed, n, 0.4)
+		net, err := Build(Spec{
+			NumNodes: n,
+			Edges:    geo,
+			Metric: func(i, j int) float64 {
+				dx := pts[i][0] - pts[j][0]
+				dy := pts[i][1] - pts[j][1]
+				return -(dx*dx + dy*dy)
+			},
+		})
+		if err != nil || net == nil {
+			return false
+		}
+		sw := SmallWorldEdges(seed, 20, 4, 0.2)
+		if _, err := Build(Spec{NumNodes: 20, Edges: sw,
+			Metric: func(i, j int) float64 { return 1 }}); err != nil {
+			return false
+		}
+		return len(CompleteEdges(5)) == 10
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maxNode(edges []Edge) int {
+	m := 0
+	for _, e := range edges {
+		if e.U > m {
+			m = e.U
+		}
+		if e.V > m {
+			m = e.V
+		}
+	}
+	return m
+}
+
+func TestEdgelessNetwork(t *testing.T) {
+	n := MustBuild(Spec{NumNodes: 4, Metric: func(i, j int) float64 { return 0 }})
+	if n.ApproximationBound() != 1 {
+		t.Fatal("edgeless bound should be 1")
+	}
+	r, err := n.RunDistributed(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumConnections() != 0 || r.TotalSatisfaction() != 0 {
+		t.Fatal("edgeless run should be empty")
+	}
+}
