@@ -3,9 +3,17 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet fuzz bench experiments examples cover clean
+.PHONY: all build check test test-short race race-core vet fuzz bench experiments examples cover clean
 
 all: build vet test
+
+# The default pre-commit gate: full build + vet + tests, plus the race
+# detector on the concurrency-bearing packages (the metrics registry
+# and both simnet runtimes).
+check: build vet test race-core
+
+race-core:
+	$(GO) test -race ./internal/metrics/... ./internal/simnet/...
 
 build:
 	$(GO) build ./...

@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"overlaymatch/internal/experiments"
+	"overlaymatch/internal/metrics"
 )
 
 func main() {
@@ -31,8 +33,42 @@ func main() {
 		csv     = flag.String("csv", "", "also write each table as CSV into this directory")
 		workers = flag.Int("workers", 0, "parallel workers for oracle sweeps (0 = GOMAXPROCS)")
 		list    = flag.Bool("list", false, "list available experiments and exit")
+		metOut  = flag.Bool("metrics", false, "print the suite's aggregated metric snapshot to stderr")
+		metFmt  = flag.String("metrics-format", "text", "metric snapshot format: text | json | prom")
+		manOut  = flag.String("manifest", "", "write a run manifest (params, go version, timings, metrics) as JSON to this file")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	switch *metFmt {
+	case "text", "json", "prom":
+	default:
+		fail("unknown -metrics-format %q", *metFmt)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fail("%v", err)
+			}
+			defer f.Close()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fail("memprofile: %v", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -52,6 +88,9 @@ func main() {
 	}
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
+	if *metOut || *manOut != "" {
+		cfg.Metrics = metrics.New()
+	}
 	var selected []experiments.Experiment
 	if *run == "all" {
 		selected = experiments.All()
@@ -66,6 +105,7 @@ func main() {
 		}
 	}
 
+	manifest := experiments.NewManifest(cfg)
 	start := time.Now()
 	for _, e := range selected {
 		t0 := time.Now()
@@ -79,9 +119,30 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "experiments: %s csv: %s\n", e.ID, strings.Join(files, " "))
 		}
+		manifest.Record(e, time.Since(t0))
 		fmt.Fprintf(os.Stderr, "experiments: %s done in %v\n", e.ID, time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Fprintf(os.Stderr, "experiments: suite done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *metOut {
+		if err := cfg.Metrics.Snapshot().WriteFormat(os.Stderr, *metFmt); err != nil {
+			fail("metrics: %v", err)
+		}
+	}
+	if *manOut != "" {
+		f, err := os.Create(*manOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := manifest.Write(f, cfg.Metrics); err != nil {
+			f.Close()
+			fail("manifest: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote manifest to %s\n", *manOut)
+	}
 }
 
 func fail(format string, args ...interface{}) {

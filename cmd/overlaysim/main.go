@@ -16,12 +16,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"overlaymatch/internal/gen"
 	"overlaymatch/internal/graph"
 	"overlaymatch/internal/lid"
 	"overlaymatch/internal/matching"
+	"overlaymatch/internal/metrics"
 	"overlaymatch/internal/pref"
 	"overlaymatch/internal/rng"
 	"overlaymatch/internal/satisfaction"
@@ -47,13 +49,48 @@ func main() {
 		jitter   = flag.Float64("jitter", 3, "latency jitter scale (event runtime)")
 		workload = flag.String("workload", "", "load a frozen workload JSON (see graphgen -format workload) instead of generating")
 		dotOut   = flag.String("dot", "", "write the final overlay as Graphviz DOT to this file")
-		traceOut = flag.String("tracelog", "", "write the message-sequence log to this file (event runtime)")
+		traceOut = flag.String("tracelog", "", "write the message trace to this file (event or goroutine runtime)")
+		traceFmt = flag.String("traceformat", "log", "trace file format: log | ndjson")
+		metOut   = flag.Bool("metrics", false, "print the run's metric snapshot after the report")
+		metFmt   = flag.String("metrics-format", "text", "metric snapshot format: text | json | prom")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		verbose  = flag.Bool("v", false, "print per-peer connections")
 	)
 	flag.Parse()
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			writeFileWith(*memProf, func(w io.Writer) error {
+				return pprof.Lookup("allocs").WriteTo(w, 0)
+			})
+		}()
+	}
+
 	opts := reportOpts{seed: *seed, runtime: *runtime_, jitter: *jitter,
-		verbose: *verbose, dotPath: *dotOut, tracePath: *traceOut}
+		verbose: *verbose, dotPath: *dotOut, tracePath: *traceOut, traceFormat: *traceFmt,
+		showMetrics: *metOut, metricsFormat: *metFmt}
+	switch *traceFmt {
+	case "log", "ndjson":
+	default:
+		fail("unknown -traceformat %q", *traceFmt)
+	}
+	switch *metFmt {
+	case "text", "json", "prom":
+	default:
+		fail("unknown -metrics-format %q", *metFmt)
+	}
 
 	if *workload != "" {
 		runWorkloadFile(*workload, opts)
@@ -130,12 +167,15 @@ func main() {
 
 // reportOpts carries the run/report configuration.
 type reportOpts struct {
-	seed      uint64
-	runtime   string
-	jitter    float64
-	verbose   bool
-	dotPath   string
-	tracePath string
+	seed          uint64
+	runtime       string
+	jitter        float64
+	verbose       bool
+	dotPath       string
+	tracePath     string
+	traceFormat   string // log | ndjson
+	showMetrics   bool
+	metricsFormat string // text | json | prom
 }
 
 // runWorkloadFile loads a frozen workload and simulates it.
@@ -165,6 +205,10 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 	if opts.tracePath != "" {
 		traceFn = collector.Record
 	}
+	var reg *metrics.Registry
+	if opts.showMetrics {
+		reg = metrics.New()
+	}
 	fmt.Printf("acyclic=%v; guarantee: LID achieves >= %.4f of optimal total satisfaction (Theorem 3)\n\n",
 		pref.IsAcyclic(sys), satisfaction.Theorem3Bound(maxInt(sys.MaxQuota(), 1)))
 
@@ -176,6 +220,7 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 			Seed:    seed,
 			Latency: latency(jitter),
 			Trace:   traceFn,
+			Metrics: reg,
 		})
 		if err != nil {
 			fail("run: %v", err)
@@ -187,7 +232,11 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 			float64(res.Stats.TotalSent())/float64(g.NumNodes()), res.Stats.MaxSentByNode())
 		fmt.Printf("  virtual time to quiescence: %.2f\n", res.Stats.FinalTime)
 	case "goroutine":
-		res, err := lid.RunGoroutines(sys, tbl, 2*time.Minute)
+		res, err := lid.RunGoroutinesOpts(sys, tbl, lid.GoOptions{
+			Timeout: 2 * time.Minute,
+			Trace:   traceFn,
+			Metrics: reg,
+		})
 		if err != nil {
 			fail("run: %v", err)
 		}
@@ -223,11 +272,22 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 		fmt.Printf("wrote Graphviz overlay to %s\n", opts.dotPath)
 	}
 	if opts.tracePath != "" {
-		if runtime_ != "event" {
-			fail("-tracelog requires -runtime event")
+		if runtime_ == "centralized" {
+			fail("-tracelog requires a distributed runtime (event or goroutine)")
 		}
-		writeFileWith(opts.tracePath, collector.WriteLog)
-		fmt.Printf("wrote message-sequence log (%d deliveries) to %s\n", collector.Len(), opts.tracePath)
+		write := collector.WriteLog
+		if opts.traceFormat == "ndjson" {
+			write = collector.WriteNDJSON
+		}
+		writeFileWith(opts.tracePath, write)
+		fmt.Printf("wrote message trace (%s, %d deliveries) to %s\n",
+			opts.traceFormat, collector.Len(), opts.tracePath)
+	}
+	if reg != nil {
+		fmt.Println("\nmetrics:")
+		if err := reg.Snapshot().WriteFormat(os.Stdout, opts.metricsFormat); err != nil {
+			fail("metrics: %v", err)
+		}
 	}
 }
 

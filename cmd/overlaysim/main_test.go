@@ -75,6 +75,47 @@ func TestRunAndReportArtifacts(t *testing.T) {
 	}
 }
 
+// TestTraceLogOnGoroutineRuntime is the regression test for the old
+// hard-fail: -tracelog used to reject -runtime goroutine even though
+// the collector is thread-safe.
+func TestTraceLogOnGoroutineRuntime(t *testing.T) {
+	s := testSystem(t)
+	tl := filepath.Join(t.TempDir(), "trace.log")
+	runAndReport(s, reportOpts{seed: 4, runtime: "goroutine",
+		tracePath: tl, traceFormat: "log"})
+	data, err := os.ReadFile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("PROP")) {
+		t.Fatal("goroutine trace log missing PROP lines")
+	}
+}
+
+func TestTraceNDJSONFormat(t *testing.T) {
+	s := testSystem(t)
+	tl := filepath.Join(t.TempDir(), "trace.ndjson")
+	runAndReport(s, reportOpts{seed: 5, runtime: "event", jitter: 1,
+		tracePath: tl, traceFormat: "ndjson"})
+	data, err := os.ReadFile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte(`{"seq":0,`)) {
+		t.Fatalf("ndjson trace malformed: %.80s", data)
+	}
+}
+
+func TestRunAndReportWithMetrics(t *testing.T) {
+	s := testSystem(t)
+	for _, rt := range []string{"event", "goroutine"} {
+		for _, format := range []string{"text", "json", "prom"} {
+			runAndReport(s, reportOpts{seed: 6, runtime: rt, jitter: 1,
+				showMetrics: true, metricsFormat: format})
+		}
+	}
+}
+
 func TestRunWorkloadFile(t *testing.T) {
 	s := testSystem(t)
 	dir := t.TempDir()

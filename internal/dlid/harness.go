@@ -107,6 +107,20 @@ func Run(s *pref.System, tbl *satisfaction.Table, schedule []Event, opts simnet.
 		res.Accepts += nd.Accepts
 		res.Declines += nd.Declines
 	}
+	// The simnet message instruments already merged into opts.Metrics
+	// when the runner finished; add the protocol-level counters on top.
+	// The per-node ints stay the exact per-run view.
+	if opts.Metrics != nil {
+		opts.Metrics.Counter("dlid_runs_total", "completed maintenance runs").Inc()
+		opts.Metrics.Counter("dlid_churn_events_total", "join/leave commands injected").
+			Add(int64(len(schedule)))
+		opts.Metrics.Counter("dlid_proposals_total", "repair proposals sent").
+			Add(int64(res.Proposals))
+		opts.Metrics.Counter("dlid_accepts_total", "repair proposals accepted").
+			Add(int64(res.Accepts))
+		opts.Metrics.Counter("dlid_declines_total", "repair proposals declined").
+			Add(int64(res.Declines))
+	}
 	live, err := extractLive(s, nodes)
 	if err != nil {
 		return res, err

@@ -93,6 +93,7 @@ func E5MessageComplexity(cfg Config) ([]*stats.Table, error) {
 			res, err := lid.RunEvent(sys, satisfaction.NewTable(sys), simnet.Options{
 				Seed:    cfg.Seed + uint64(n),
 				Latency: simnet.ExponentialLatency(4),
+				Metrics: cfg.Metrics,
 			})
 			if err != nil {
 				return nil, err
@@ -122,6 +123,7 @@ func E5MessageComplexity(cfg Config) ([]*stats.Table, error) {
 		res, err := lid.RunEvent(sys, satisfaction.NewTable(sys), simnet.Options{
 			Seed:    cfg.Seed + uint64(b),
 			Latency: simnet.ExponentialLatency(4),
+			Metrics: cfg.Metrics,
 		})
 		if err != nil {
 			return nil, err
@@ -141,6 +143,7 @@ func E5MessageComplexity(cfg Config) ([]*stats.Table, error) {
 		res, err := lid.RunEvent(sys, satisfaction.NewTable(sys), simnet.Options{
 			Seed:    cfg.Seed + uint64(deg),
 			Latency: simnet.ExponentialLatency(4),
+			Metrics: cfg.Metrics,
 		})
 		if err != nil {
 			return nil, err
@@ -169,7 +172,7 @@ func E6ConvergenceRounds(cfg Config) ([]*stats.Table, error) {
 				return nil, err
 			}
 			sys := w.System
-			res, err := lid.RunEvent(sys, satisfaction.NewTable(sys), simnet.Options{Seed: cfg.Seed})
+			res, err := lid.RunEvent(sys, satisfaction.NewTable(sys), simnet.Options{Seed: cfg.Seed, Metrics: cfg.Metrics})
 			if err != nil {
 				return nil, err
 			}
@@ -186,7 +189,7 @@ func E6ConvergenceRounds(cfg Config) ([]*stats.Table, error) {
 			return nil, err
 		}
 		sys := w.System
-		res, err := lid.RunEvent(sys, satisfaction.NewTable(sys), simnet.Options{Seed: cfg.Seed})
+		res, err := lid.RunEvent(sys, satisfaction.NewTable(sys), simnet.Options{Seed: cfg.Seed, Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, err
 		}

@@ -43,11 +43,13 @@ func E11LossyLinks(cfg Config) ([]*stats.Table, error) {
 				Seed:    cfg.Seed + uint64(r) + uint64(loss*1000),
 				Drop:    drop,
 				Latency: simnet.ExponentialLatency(3),
+				Metrics: cfg.Metrics,
 			})
 			st, err := runner.Run(reliable.Handlers(eps))
 			if err != nil {
 				return nil, fmt.Errorf("E11 loss=%.1f: %w", loss, err)
 			}
+			reliable.PublishMetrics(cfg.Metrics, eps)
 			m, err := lid.BuildMatching(nodes)
 			if err != nil {
 				return nil, err

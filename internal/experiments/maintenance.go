@@ -37,6 +37,7 @@ func E14Maintenance(cfg Config) ([]*stats.Table, error) {
 		res, err := dlid.Run(sys, tbl, schedule, simnet.Options{
 			Seed:    cfg.Seed,
 			Latency: simnet.ExponentialLatency(0.5),
+			Metrics: cfg.Metrics,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E14 %s: %w", topo.name, err)

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	mreg "overlaymatch/internal/metrics"
+)
+
+// Manifest records the provenance of one suite run: what was run, with
+// which parameters, on which toolchain, how long each experiment took,
+// and the final metric snapshot of the shared registry. It is the
+// machine-readable companion of the rendered tables — enough to tell
+// whether two table files came from comparable runs.
+type Manifest struct {
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	NumCPU      int              `json:"num_cpu"`
+	Seed        uint64           `json:"seed"`
+	Quick       bool             `json:"quick"`
+	Workers     int              `json:"workers"`
+	Experiments []ExperimentMeta `json:"experiments"`
+	TotalWallMS float64          `json:"total_wall_ms"`
+	// Metrics is the shared-registry snapshot (deterministic key order),
+	// null when the run had no sink attached.
+	Metrics json.RawMessage `json:"metrics"`
+}
+
+// ExperimentMeta is one experiment's row in the manifest.
+type ExperimentMeta struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+// NewManifest starts a manifest for the given configuration.
+func NewManifest(cfg Config) *Manifest {
+	return &Manifest{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Seed:        cfg.Seed,
+		Quick:       cfg.Quick,
+		Workers:     cfg.Workers,
+	}
+}
+
+// Record appends one finished experiment.
+func (m *Manifest) Record(e Experiment, wall time.Duration) {
+	m.Experiments = append(m.Experiments, ExperimentMeta{
+		ID: e.ID, Title: e.Title, WallMS: float64(wall.Microseconds()) / 1000,
+	})
+	m.TotalWallMS += float64(wall.Microseconds()) / 1000
+}
+
+// Write finalizes the manifest with the registry snapshot (nil-safe)
+// and emits indented JSON.
+func (m *Manifest) Write(w io.Writer, reg *mreg.Registry) error {
+	if reg != nil {
+		raw, err := reg.Snapshot().MarshalJSON()
+		if err != nil {
+			return err
+		}
+		m.Metrics = raw
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

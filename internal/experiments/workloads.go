@@ -25,6 +25,7 @@ import (
 
 	"overlaymatch/internal/gen"
 	"overlaymatch/internal/graph"
+	mreg "overlaymatch/internal/metrics"
 	"overlaymatch/internal/pref"
 	"overlaymatch/internal/rng"
 )
@@ -40,6 +41,11 @@ type Config struct {
 	// (the exact-oracle comparisons); 0 means GOMAXPROCS. Output is
 	// bit-identical for any worker count.
 	Workers int
+	// Metrics, when non-nil, is the shared sink registry the
+	// message-heavy experiments (E5, E6, E11, E14) merge their simnet
+	// instruments into. Purely additive: the tables are computed from
+	// the per-run Stats views and are bit-identical with or without it.
+	Metrics *mreg.Registry
 }
 
 func (c Config) pick(quick, full int) int {

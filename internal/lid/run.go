@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"overlaymatch/internal/matching"
+	"overlaymatch/internal/metrics"
 	"overlaymatch/internal/pref"
 	"overlaymatch/internal/satisfaction"
 	"overlaymatch/internal/simnet"
@@ -29,26 +30,62 @@ func RunEvent(s *pref.System, tbl *satisfaction.Table, opts simnet.Options) (Res
 	if err != nil {
 		return Result{Stats: stats}, err
 	}
-	return finish(nodes, stats)
+	return finish(nodes, stats, opts.Metrics)
+}
+
+// GoOptions configures a goroutine-runtime LID execution.
+type GoOptions struct {
+	// Timeout bounds the wall-clock duration (0 = the GoRunner's 30s
+	// default).
+	Timeout time.Duration
+	// Trace, if non-nil, receives every delivery. It is called from
+	// the per-node goroutines concurrently, so it must be thread-safe
+	// (trace.Collector is).
+	Trace func(simnet.TraceEntry)
+	// Metrics, if non-nil, receives a merge of the run's instrument
+	// registry when the run finishes.
+	Metrics *metrics.Registry
 }
 
 // RunGoroutines executes LID with one real goroutine per peer. The
 // interleaving is up to the Go scheduler; the outcome must still be
 // the unique LIC matching.
 func RunGoroutines(s *pref.System, tbl *satisfaction.Table, timeout time.Duration) (Result, error) {
+	return RunGoroutinesOpts(s, tbl, GoOptions{Timeout: timeout})
+}
+
+// RunGoroutinesOpts is RunGoroutines with tracing and metrics — the
+// full observability surface of the event runtime, on the concurrent
+// one.
+func RunGoroutinesOpts(s *pref.System, tbl *satisfaction.Table, opts GoOptions) (Result, error) {
 	nodes := NewNodes(s, tbl)
-	runner := simnet.NewGoRunner(s.Graph().NumNodes(), timeout)
+	runner := simnet.NewGoRunner(s.Graph().NumNodes(), opts.Timeout)
+	if opts.Trace != nil {
+		runner.SetTrace(opts.Trace)
+	}
+	if opts.Metrics != nil {
+		runner.SetMetricsSink(opts.Metrics)
+	}
 	stats, err := runner.Run(Handlers(nodes))
 	if err != nil {
 		return Result{Stats: stats}, err
 	}
-	return finish(nodes, stats)
+	return finish(nodes, stats, opts.Metrics)
 }
 
-func finish(nodes []*Node, stats simnet.Stats) (Result, error) {
+// finish assembles the matching and, when a sink registry is present,
+// publishes the protocol-level instruments (the simnet-level message
+// instruments were already merged by the runner).
+func finish(nodes []*Node, stats simnet.Stats, sink *metrics.Registry) (Result, error) {
 	m, err := BuildMatching(nodes)
 	if err != nil {
 		return Result{Stats: stats}, err
+	}
+	if sink != nil {
+		sink.Counter("lid_runs_total", "completed LID executions").Inc()
+		sink.Counter("lid_locked_edges_total", "connections locked across runs").Add(int64(m.Size()))
+		sink.Counter("lid_prop_total", "PROP messages sent").Add(int64(stats.SentByKind["PROP"]))
+		sink.Counter("lid_rej_total", "REJ messages sent").Add(int64(stats.SentByKind["REJ"]))
 	}
 	return Result{
 		Matching:     m,

@@ -1,0 +1,255 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// LabelCount is one (label value, count) pair of a family sample.
+type LabelCount struct {
+	Value string `json:"value"`
+	Count int64  `json:"count"`
+}
+
+// Sample is one instrument's state at snapshot time. Field use by
+// kind: Counter → Count; Gauge → Value; Histogram → Count (number of
+// observations), Value (sum), Bounds/BucketCounts, P50/P95/P99;
+// Vector → Values; Family → Label, LabelValues (sorted by value).
+type Sample struct {
+	Name         string
+	Kind         Kind
+	Help         string
+	Count        int64
+	Value        float64
+	Bounds       []float64
+	BucketCounts []int64
+	P50          float64
+	P95          float64
+	P99          float64
+	Label        string
+	LabelValues  []LabelCount
+	Values       []int64
+}
+
+// Snapshot is a consistent-enough view of a registry: every individual
+// instrument value is an atomic read; the set of samples is sorted by
+// name, so rendering is deterministic for a quiesced registry.
+type Snapshot struct {
+	Samples []Sample
+}
+
+// Snapshot captures all instruments, sorted by name.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	names := r.names()
+	entries := make([]*entry, len(names))
+	for i, n := range names {
+		entries[i] = r.entries[n]
+	}
+	r.mu.Unlock()
+
+	out := Snapshot{Samples: make([]Sample, 0, len(names))}
+	for i, name := range names {
+		e := entries[i]
+		s := Sample{Name: name, Kind: e.kind, Help: e.help}
+		switch e.kind {
+		case KindCounter:
+			s.Count = e.inst.(*Counter).Value()
+		case KindGauge:
+			s.Value = e.inst.(*Gauge).Value()
+		case KindHistogram:
+			h := e.inst.(*Histogram)
+			s.Count = h.Count()
+			s.Value = h.Sum()
+			s.Bounds = append([]float64(nil), h.bounds...)
+			s.BucketCounts = make([]int64, len(h.counts))
+			for b := range h.counts {
+				s.BucketCounts[b] = h.counts[b].Load()
+			}
+			s.P50 = h.Quantile(0.50)
+			s.P95 = h.Quantile(0.95)
+			s.P99 = h.Quantile(0.99)
+		case KindVector:
+			s.Values = e.inst.(*Vector).Values()
+		case KindFamily:
+			f := e.inst.(*Family)
+			s.Label = f.Label()
+			counts := f.Counts()
+			values := make([]string, 0, len(counts))
+			for v := range counts {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			for _, v := range values {
+				s.LabelValues = append(s.LabelValues, LabelCount{Value: v, Count: counts[v]})
+			}
+		}
+		out.Samples = append(out.Samples, s)
+	}
+	return out
+}
+
+// vectorStats summarizes a vector sample for rendering.
+func vectorStats(values []int64) (sum, max int64) {
+	for _, v := range values {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	return sum, max
+}
+
+// WriteText renders the snapshot as aligned, deterministic text — the
+// default of the -metrics CLI flags.
+func (s Snapshot) WriteText(w io.Writer) error {
+	type line struct{ name, value string }
+	var lines []line
+	for _, smp := range s.Samples {
+		switch smp.Kind {
+		case KindCounter:
+			lines = append(lines, line{smp.Name, fmt.Sprintf("%d", smp.Count)})
+		case KindGauge:
+			lines = append(lines, line{smp.Name, fmt.Sprintf("%g", smp.Value)})
+		case KindHistogram:
+			lines = append(lines, line{smp.Name, fmt.Sprintf(
+				"count=%d sum=%g p50=%g p95=%g p99=%g",
+				smp.Count, smp.Value, smp.P50, smp.P95, smp.P99)})
+		case KindVector:
+			sum, max := vectorStats(smp.Values)
+			lines = append(lines, line{smp.Name, fmt.Sprintf(
+				"n=%d sum=%d max=%d", len(smp.Values), sum, max)})
+		case KindFamily:
+			for _, lv := range smp.LabelValues {
+				lines = append(lines, line{
+					fmt.Sprintf("%s{%s=%q}", smp.Name, smp.Label, lv.Value),
+					fmt.Sprintf("%d", lv.Count)})
+			}
+		}
+	}
+	width := 0
+	for _, l := range lines {
+		if len(l.name) > width {
+			width = len(l.name)
+		}
+	}
+	var b strings.Builder
+	for _, l := range lines {
+		fmt.Fprintf(&b, "%-*s  %s\n", width, l.name, l.value)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders the snapshot as one indented JSON object keyed by
+// instrument name. encoding/json sorts map keys, so the output is
+// deterministic.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s.toJSON(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// MarshalJSON lets a Snapshot embed directly into larger JSON
+// documents (the experiment run manifests).
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.toJSON())
+}
+
+func (s Snapshot) toJSON() map[string]interface{} {
+	out := make(map[string]interface{}, len(s.Samples))
+	for _, smp := range s.Samples {
+		m := map[string]interface{}{"kind": smp.Kind.String()}
+		if smp.Help != "" {
+			m["help"] = smp.Help
+		}
+		switch smp.Kind {
+		case KindCounter:
+			m["value"] = smp.Count
+		case KindGauge:
+			m["value"] = smp.Value
+		case KindHistogram:
+			m["count"] = smp.Count
+			m["sum"] = smp.Value
+			m["bounds"] = smp.Bounds
+			m["buckets"] = smp.BucketCounts
+			m["p50"], m["p95"], m["p99"] = smp.P50, smp.P95, smp.P99
+		case KindVector:
+			sum, max := vectorStats(smp.Values)
+			m["n"], m["sum"], m["max"] = len(smp.Values), sum, max
+			m["values"] = smp.Values
+		case KindFamily:
+			byValue := make(map[string]int64, len(smp.LabelValues))
+			for _, lv := range smp.LabelValues {
+				byValue[lv.Value] = lv.Count
+			}
+			m["label"] = smp.Label
+			m["values"] = byValue
+		}
+		out[smp.Name] = m
+	}
+	return out
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format (counters, gauges, classic histograms with cumulative "le"
+// buckets, vectors as one series per index, families as one series
+// per label value).
+func (s Snapshot) WriteProm(w io.Writer) error {
+	var b strings.Builder
+	for _, smp := range s.Samples {
+		if smp.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", smp.Name, smp.Help)
+		}
+		switch smp.Kind {
+		case KindCounter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", smp.Name, smp.Name, smp.Count)
+		case KindGauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", smp.Name, smp.Name, smp.Value)
+		case KindHistogram:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", smp.Name)
+			var cum int64
+			for i, bound := range smp.Bounds {
+				cum += smp.BucketCounts[i]
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", smp.Name, fmt.Sprintf("%g", bound), cum)
+			}
+			cum += smp.BucketCounts[len(smp.BucketCounts)-1]
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", smp.Name, cum)
+			fmt.Fprintf(&b, "%s_sum %g\n", smp.Name, smp.Value)
+			fmt.Fprintf(&b, "%s_count %d\n", smp.Name, smp.Count)
+		case KindVector:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", smp.Name)
+			for i, v := range smp.Values {
+				fmt.Fprintf(&b, "%s{index=\"%d\"} %d\n", smp.Name, i, v)
+			}
+		case KindFamily:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", smp.Name)
+			for _, lv := range smp.LabelValues {
+				fmt.Fprintf(&b, "%s{%s=%q} %d\n", smp.Name, smp.Label, lv.Value, lv.Count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteFormat dispatches on a -metrics-format flag value: "text",
+// "json", or "prom".
+func (s Snapshot) WriteFormat(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		return s.WriteText(w)
+	case "json":
+		return s.WriteJSON(w)
+	case "prom":
+		return s.WriteProm(w)
+	}
+	return fmt.Errorf("metrics: unknown format %q (want text, json or prom)", format)
+}

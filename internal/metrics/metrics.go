@@ -1,0 +1,441 @@
+// Package metrics is the unified observability layer (DESIGN.md S23):
+// a dependency-free, race-safe metrics registry shared by the simnet
+// runtimes and the protocol packages. The paper's evaluation claims
+// are quantitative — message complexity per node (Lemma 5 / E5),
+// convergence rounds (E6), retransmission overhead (E11), repair cost
+// under churn (E14) — and before this package each subsystem scraped
+// those numbers from bespoke counter structs that only worked on the
+// single-threaded event runtime. The registry gives every runtime and
+// protocol the same instruments:
+//
+//   - Counter: monotonically increasing atomic int64.
+//   - Gauge: float64 with Set/Add/SetMax semantics (atomic bit CAS).
+//   - Histogram: fixed upper-bound buckets with atomic counts, total
+//     and sum; p50/p95/p99 estimated by linear interpolation within
+//     the owning bucket (the same quantile semantics stats.Summary
+//     reports for raw samples).
+//   - Vector: a fixed-length array of atomic int64 — the per-node
+//     counters (SentByNode, ReceivedByNode) of a single run.
+//   - Family: counters keyed by one label value (messages by kind).
+//
+// All write paths are lock-free atomics, so instruments are safe under
+// the goroutine runtime and the race detector; Snapshot can be taken
+// while writers are running. Snapshots render deterministically (names
+// and labels sorted) as aligned text, JSON, or Prometheus exposition
+// text — see export.go. Instruments do not touch any RNG and never
+// feed back into protocol decisions, so instrumented runs are
+// bit-identical to uninstrumented ones (enforced by tests in
+// internal/lid and internal/experiments).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates instrument types inside a registry namespace.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+	KindVector
+	KindFamily
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	case KindVector:
+		return "vector"
+	case KindFamily:
+		return "family"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// Counter is a monotonically increasing integer.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (must be non-negative; counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("metrics: Counter.Add with negative delta")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v is larger — the idiom for
+// high-water marks (max queue depth, final virtual time).
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed upper-bound buckets.
+// Bounds are the inclusive upper edges of the finite buckets; one
+// overflow bucket collects everything above the last bound.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last = overflow
+	count  atomic.Int64
+	sum    Gauge // atomic float64 accumulator
+}
+
+// DefBuckets is the default latency bucket layout: powers of two
+// spanning the unit-latency to heavy-jitter range of the simulations.
+var DefBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket counts are small (≤ ~10) and the scan beats
+	// binary search at that size; the adds are atomic so concurrent
+	// observers never lock.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) from the bucket
+// counts by linear interpolation inside the owning bucket, taking the
+// previous bound (or 0) as the bucket's lower edge. The overflow
+// bucket reports the last finite bound. An empty histogram returns 0.
+func (h *Histogram) Quantile(p float64) float64 {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("metrics: Quantile with p=%v", p))
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := p * float64(total)
+	var cum float64
+	lower := 0.0
+	for i, bound := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank && c > 0 {
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (bound-lower)*frac
+		}
+		cum += c
+		lower = bound
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Vector is a fixed-length array of counters, indexed by a dense id
+// (node id in the simulations). Element writes are atomic.
+type Vector struct {
+	vals []atomic.Int64
+}
+
+// Inc adds 1 to element i.
+func (v *Vector) Inc(i int) { v.vals[i].Add(1) }
+
+// Add adds n to element i.
+func (v *Vector) Add(i int, n int64) { v.vals[i].Add(n) }
+
+// Value returns element i.
+func (v *Vector) Value(i int) int64 { return v.vals[i].Load() }
+
+// Len returns the vector length.
+func (v *Vector) Len() int { return len(v.vals) }
+
+// Values returns a copy of all elements.
+func (v *Vector) Values() []int64 {
+	out := make([]int64, len(v.vals))
+	for i := range v.vals {
+		out[i] = v.vals[i].Load()
+	}
+	return out
+}
+
+// Family is a set of counters keyed by one label value, e.g. messages
+// by protocol kind. With is cheap on the hit path (RLock + map read).
+type Family struct {
+	label    string
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// Label returns the label name the family is keyed by.
+func (f *Family) Label() string { return f.label }
+
+// With returns the counter for the given label value, creating it on
+// first use.
+func (f *Family) With(value string) *Counter {
+	f.mu.RLock()
+	c, ok := f.children[value]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok = f.children[value]; ok {
+		return c
+	}
+	c = &Counter{}
+	f.children[value] = c
+	return c
+}
+
+// Value returns the count for one label value (0 if absent).
+func (f *Family) Value(value string) int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if c, ok := f.children[value]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Counts returns a copy of all (label value, count) pairs.
+func (f *Family) Counts() map[string]int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make(map[string]int64, len(f.children))
+	for k, c := range f.children {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// entry is one named instrument inside a registry.
+type entry struct {
+	kind Kind
+	help string
+	inst interface{}
+}
+
+// Registry holds named instruments. Get-or-create accessors are safe
+// for concurrent use; re-registering a name with a different kind (or
+// an incompatible shape) panics, as that is always a programming
+// error.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+func (r *Registry) lookup(name, help string, kind Kind) (*entry, bool) {
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, false
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("metrics: %q registered as %s, requested as %s", name, e.kind, kind))
+	}
+	return e, true
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, help, KindCounter); ok {
+		return e.inst.(*Counter)
+	}
+	c := &Counter{}
+	r.entries[name] = &entry{kind: KindCounter, help: help, inst: c}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, help, KindGauge); ok {
+		return e.inst.(*Gauge)
+	}
+	g := &Gauge{}
+	r.entries[name] = &entry{kind: KindGauge, help: help, inst: g}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use. bounds must be strictly ascending
+// and non-empty; nil means DefBuckets. Re-requesting an existing
+// histogram with different bounds panics.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	if len(bounds) == 0 {
+		panic("metrics: Histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: Histogram bounds must be strictly ascending")
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, help, KindHistogram); ok {
+		h := e.inst.(*Histogram)
+		if len(h.bounds) != len(bounds) {
+			panic(fmt.Sprintf("metrics: histogram %q re-registered with different bounds", name))
+		}
+		for i := range bounds {
+			if h.bounds[i] != bounds[i] {
+				panic(fmt.Sprintf("metrics: histogram %q re-registered with different bounds", name))
+			}
+		}
+		return h
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.entries[name] = &entry{kind: KindHistogram, help: help, inst: h}
+	return h
+}
+
+// Vector returns the named fixed-length vector, creating it on first
+// use. Re-requesting with a different size panics: a vector is tied to
+// one run's node count.
+func (r *Registry) Vector(name, help string, size int) *Vector {
+	if size < 0 {
+		panic("metrics: Vector with negative size")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, help, KindVector); ok {
+		v := e.inst.(*Vector)
+		if v.Len() != size {
+			panic(fmt.Sprintf("metrics: vector %q re-registered with size %d != %d", name, size, v.Len()))
+		}
+		return v
+	}
+	v := &Vector{vals: make([]atomic.Int64, size)}
+	r.entries[name] = &entry{kind: KindVector, help: help, inst: v}
+	return v
+}
+
+// Family returns the named counter family keyed by the given label
+// name, creating it on first use.
+func (r *Registry) Family(name, help, label string) *Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, help, KindFamily); ok {
+		f := e.inst.(*Family)
+		if f.label != label {
+			panic(fmt.Sprintf("metrics: family %q re-registered with label %q != %q", name, label, f.label))
+		}
+		return f
+	}
+	f := &Family{label: label, children: make(map[string]*Counter)}
+	r.entries[name] = &entry{kind: KindFamily, help: help, inst: f}
+	return f
+}
+
+// names returns all registered names sorted.
+func (r *Registry) names() []string {
+	out := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge folds a snapshot into this registry: counters and histogram
+// buckets add, families add per label value, gauges take the maximum
+// (every gauge in this codebase is a high-water mark or a final time,
+// for which max is the meaningful cross-run aggregate). Vector
+// samples are NOT merged — a vector is a per-run, per-node-count
+// artifact; its totals already flow through the corresponding
+// counters. Merge is how a shared suite-level registry aggregates many
+// single-run registries without putting shared state on any hot path.
+func (r *Registry) Merge(s Snapshot) {
+	for _, smp := range s.Samples {
+		switch smp.Kind {
+		case KindCounter:
+			r.Counter(smp.Name, smp.Help).Add(smp.Count)
+		case KindGauge:
+			r.Gauge(smp.Name, smp.Help).SetMax(smp.Value)
+		case KindHistogram:
+			h := r.Histogram(smp.Name, smp.Help, smp.Bounds)
+			for i, c := range smp.BucketCounts {
+				if c > 0 {
+					h.counts[i].Add(c)
+				}
+			}
+			h.count.Add(smp.Count)
+			h.sum.Add(smp.Value)
+		case KindFamily:
+			f := r.Family(smp.Name, smp.Help, smp.Label)
+			for _, lv := range smp.LabelValues {
+				f.With(lv.Value).Add(lv.Count)
+			}
+		case KindVector:
+			// Per-run artifact; see doc comment.
+		}
+	}
+}

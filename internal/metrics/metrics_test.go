@@ -1,0 +1,263 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("c_total", "a counter") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(1.5)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %v, want 4", g.Value())
+	}
+	g.SetMax(3) // lower: no-op
+	if g.Value() != 4 {
+		t.Fatalf("SetMax lowered the gauge to %v", g.Value())
+	}
+	g.SetMax(10)
+	if g.Value() != 10 {
+		t.Fatalf("SetMax = %v, want 10", g.Value())
+	}
+}
+
+func TestCounterNegativeAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	new(Counter).Add(-1)
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if got, want := h.Sum(), 113.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	s := r.Snapshot().Samples[0]
+	// Buckets: ≤1 holds {0.5, 1}; ≤2 holds {1.5, 2}; ≤4 holds {3};
+	// overflow holds {5, 100}.
+	want := []int64{2, 2, 1, 2}
+	for i, c := range want {
+		if s.BucketCounts[i] != c {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.BucketCounts[i], c, s.BucketCounts)
+		}
+	}
+	// Quantiles are bucket interpolations: monotone and within range.
+	q50, q95, q99 := h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)
+	if !(q50 <= q95 && q95 <= q99) {
+		t.Fatalf("quantiles not monotone: %v %v %v", q50, q95, q99)
+	}
+	if q99 > 4 {
+		t.Fatalf("q99 = %v beyond the last finite bound", q99)
+	}
+	if h.Quantile(0) < 0 || h.Quantile(1) != 4 {
+		t.Fatalf("extreme quantiles wrong: q0=%v q1=%v", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", "", nil) // DefBuckets
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	r := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending bounds did not panic")
+		}
+	}()
+	r.Histogram("bad", "", []float64{2, 1})
+}
+
+func TestHistogramReboundPanics(t *testing.T) {
+	r := New()
+	r.Histogram("h", "", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with different bounds did not panic")
+		}
+	}()
+	r.Histogram("h", "", []float64{1, 3})
+}
+
+func TestVector(t *testing.T) {
+	r := New()
+	v := r.Vector("v", "", 3)
+	v.Inc(0)
+	v.Add(2, 5)
+	if got := v.Values(); got[0] != 1 || got[1] != 0 || got[2] != 5 {
+		t.Fatalf("values = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("vector resize did not panic")
+		}
+	}()
+	r.Vector("v", "", 4)
+}
+
+func TestFamily(t *testing.T) {
+	r := New()
+	f := r.Family("msgs_total", "", "kind")
+	f.With("PROP").Add(3)
+	f.With("REJ").Inc()
+	f.With("PROP").Inc()
+	if f.Value("PROP") != 4 || f.Value("REJ") != 1 || f.Value("nope") != 0 {
+		t.Fatalf("family counts wrong: %v", f.Counts())
+	}
+}
+
+func TestSnapshotDeterministicRendering(t *testing.T) {
+	build := func() Snapshot {
+		r := New()
+		r.Counter("b_total", "second").Add(2)
+		r.Counter("a_total", "first").Add(1)
+		r.Gauge("g", "").Set(1.5)
+		h := r.Histogram("h", "", []float64{1, 10})
+		h.Observe(0.5)
+		h.Observe(20)
+		r.Vector("v", "", 2).Add(1, 7)
+		f := r.Family("f", "", "kind")
+		f.With("z").Inc()
+		f.With("a").Add(2)
+		return r.Snapshot()
+	}
+	var t1, t2, j1, p1 bytes.Buffer
+	if err := build().WriteText(&t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteText(&t2); err != nil {
+		t.Fatal(err)
+	}
+	if t1.String() != t2.String() {
+		t.Fatalf("text rendering not deterministic:\n%s\nvs\n%s", t1.String(), t2.String())
+	}
+	if !strings.Contains(t1.String(), `f{kind="a"}`) {
+		t.Fatalf("family line missing:\n%s", t1.String())
+	}
+	if strings.Index(t1.String(), "a_total") > strings.Index(t1.String(), "b_total") {
+		t.Fatalf("names not sorted:\n%s", t1.String())
+	}
+
+	if err := build().WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]map[string]interface{}
+	if err := json.Unmarshal(j1.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON output invalid: %v\n%s", err, j1.String())
+	}
+	if decoded["a_total"]["value"].(float64) != 1 {
+		t.Fatalf("JSON counter wrong: %v", decoded["a_total"])
+	}
+	if decoded["h"]["count"].(float64) != 2 {
+		t.Fatalf("JSON histogram wrong: %v", decoded["h"])
+	}
+
+	if err := build().WriteProm(&p1); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE a_total counter", "a_total 1",
+		"h_bucket{le=\"+Inf\"} 2", "h_count 2",
+		`f{kind="a"} 2`, `v{index="1"} 7`,
+	} {
+		if !strings.Contains(p1.String(), want) {
+			t.Fatalf("prom output missing %q:\n%s", want, p1.String())
+		}
+	}
+}
+
+func TestWriteFormatDispatch(t *testing.T) {
+	r := New()
+	r.Counter("c", "").Inc()
+	for _, f := range []string{"", "text", "json", "prom"} {
+		var b bytes.Buffer
+		if err := r.Snapshot().WriteFormat(&b, f); err != nil {
+			t.Fatalf("format %q: %v", f, err)
+		}
+		if b.Len() == 0 {
+			t.Fatalf("format %q produced no output", f)
+		}
+	}
+	var b bytes.Buffer
+	if err := r.Snapshot().WriteFormat(&b, "xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	runReg := func(k int) *Registry {
+		r := New()
+		r.Counter("deliveries_total", "").Add(int64(10 * k))
+		r.Gauge("final_time", "").Set(float64(k))
+		h := r.Histogram("lat", "", []float64{1, 2})
+		h.Observe(0.5)
+		h.Observe(float64(k))
+		f := r.Family("sent", "", "kind")
+		f.With("PROP").Add(int64(k))
+		r.Vector("by_node", "", k+1).Inc(0)
+		return r
+	}
+	shared := New()
+	shared.Merge(runReg(1).Snapshot())
+	shared.Merge(runReg(3).Snapshot())
+	s := shared.Snapshot()
+	byName := map[string]Sample{}
+	for _, smp := range s.Samples {
+		byName[smp.Name] = smp
+	}
+	if byName["deliveries_total"].Count != 40 {
+		t.Fatalf("merged counter = %d, want 40", byName["deliveries_total"].Count)
+	}
+	if byName["final_time"].Value != 3 {
+		t.Fatalf("merged gauge = %v, want max 3", byName["final_time"].Value)
+	}
+	if byName["lat"].Count != 4 {
+		t.Fatalf("merged histogram count = %d, want 4", byName["lat"].Count)
+	}
+	if got := byName["sent"].LabelValues; len(got) != 1 || got[0].Count != 4 {
+		t.Fatalf("merged family = %v", got)
+	}
+	if _, ok := byName["by_node"]; ok {
+		t.Fatal("vectors must not merge (per-run artifacts)")
+	}
+}

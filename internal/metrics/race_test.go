@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentWriters hammers every instrument kind from parallel
+// goroutines while snapshots are being taken — the acceptance test the
+// registry must pass under `go test -race`. Totals are checked after
+// the fact: atomic instruments must not lose updates.
+func TestConcurrentWriters(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 2000
+	)
+	r := New()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g_max", "")
+	h := r.Histogram("h", "", []float64{1, 4, 16})
+	v := r.Vector("v", "", writers)
+	f := r.Family("f", "", "kind")
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kind := "even"
+			if w%2 == 1 {
+				kind = "odd"
+			}
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				g.SetMax(float64(w*perW + i))
+				h.Observe(float64(i % 20))
+				v.Inc(w)
+				f.With(kind).Inc()
+			}
+		}(w)
+	}
+	// Snapshot concurrently with the writers: must not race and must
+	// render without error.
+	var sg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		sg.Add(1)
+		go func() {
+			defer sg.Done()
+			for i := 0; i < 50; i++ {
+				var b bytes.Buffer
+				if err := r.Snapshot().WriteText(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	sg.Wait()
+
+	total := int64(writers * perW)
+	if c.Value() != total {
+		t.Fatalf("counter lost updates: %d != %d", c.Value(), total)
+	}
+	if h.Count() != total {
+		t.Fatalf("histogram lost updates: %d != %d", h.Count(), total)
+	}
+	var vsum int64
+	for i := 0; i < v.Len(); i++ {
+		if v.Value(i) != perW {
+			t.Fatalf("vector[%d] = %d, want %d", i, v.Value(i), perW)
+		}
+		vsum += v.Value(i)
+	}
+	if f.Value("even")+f.Value("odd") != total {
+		t.Fatalf("family lost updates: %v", f.Counts())
+	}
+	if g.Value() != float64(writers*perW-1) {
+		t.Fatalf("gauge max = %v, want %d", g.Value(), writers*perW-1)
+	}
+}
+
+// TestConcurrentGetOrCreate races many goroutines creating the same
+// named instruments; all must observe the same instance.
+func TestConcurrentGetOrCreate(t *testing.T) {
+	r := New()
+	const n = 16
+	out := make([]*Counter, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = r.Counter("shared_total", "")
+			out[i].Inc()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if out[i] != out[0] {
+			t.Fatal("Counter returned different instances")
+		}
+	}
+	if out[0].Value() != n {
+		t.Fatalf("count = %d, want %d", out[0].Value(), n)
+	}
+}

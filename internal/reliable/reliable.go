@@ -22,6 +22,7 @@ package reliable
 import (
 	"fmt"
 
+	"overlaymatch/internal/metrics"
 	"overlaymatch/internal/simnet"
 )
 
@@ -70,6 +71,8 @@ type Endpoint struct {
 	abandoned   int // frames given up after maxRetries
 
 	// Counters for the experiments.
+	frames      int // DATA frames sent, retransmissions included
+	acks        int // ACK frames sent
 	retransmits int
 	duplicates  int
 }
@@ -93,6 +96,13 @@ func NewEndpoint(inner simnet.Handler, rto float64, maxRetries int) *Endpoint {
 		delivered:  make(map[int]map[uint32]bool),
 	}
 }
+
+// Frames returns the number of DATA frames sent, retransmissions
+// included.
+func (e *Endpoint) Frames() int { return e.frames }
+
+// Acks returns the number of ACK frames sent.
+func (e *Endpoint) Acks() int { return e.acks }
 
 // Retransmits returns the number of retransmitted frames.
 func (e *Endpoint) Retransmits() int { return e.retransmits }
@@ -120,6 +130,7 @@ func (c *relCtx) Send(to int, msg simnet.Message) {
 	k := frameKey{to: to, seq: seq}
 	e.unacked[k] = msg
 	e.attempts[k] = 1
+	e.frames++
 	c.ctx.Send(to, dataMsg{Seq: seq, Payload: msg})
 	simnet.SetTimerOn(c.ctx, e.rto, retransmitToken{To: to, Seq: seq})
 }
@@ -168,10 +179,12 @@ func (e *Endpoint) HandleMessage(ctx simnet.Context, from int, msg simnet.Messag
 		}
 		e.attempts[k]++
 		e.retransmits++
+		e.frames++
 		ctx.Send(m.To, dataMsg{Seq: m.Seq, Payload: payload})
 		simnet.SetTimerOn(ctx, e.rto, retransmitToken{To: m.To, Seq: m.Seq})
 	case dataMsg:
 		// Always ack: a duplicate means our previous ack was lost.
+		e.acks++
 		ctx.Send(from, ackMsg{Seq: m.Seq})
 		seen := e.delivered[from]
 		if seen == nil {
@@ -228,6 +241,45 @@ func TotalDuplicates(endpoints []*Endpoint) int {
 	total := 0
 	for _, e := range endpoints {
 		total += e.duplicates
+	}
+	return total
+}
+
+// TotalAbandoned sums frames given up after maxRetries across
+// endpoints.
+func TotalAbandoned(endpoints []*Endpoint) int {
+	total := 0
+	for _, e := range endpoints {
+		total += e.abandoned
+	}
+	return total
+}
+
+// PublishMetrics adds the transport totals of one finished run to reg.
+// The per-endpoint int counters stay the source of truth for the
+// experiments (single-threaded event runtime, no synchronization
+// needed on the hot path); the registry view is for suite-level
+// aggregation and the exporters. Nil-safe: a nil registry is a no-op.
+func PublishMetrics(reg *metrics.Registry, endpoints []*Endpoint) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("reliable_frames_total", "DATA frames sent, retransmissions included").
+		Add(int64(sum(endpoints, (*Endpoint).Frames)))
+	reg.Counter("reliable_acks_total", "ACK frames sent").
+		Add(int64(sum(endpoints, (*Endpoint).Acks)))
+	reg.Counter("reliable_retransmits_total", "frames retransmitted after RTO").
+		Add(int64(TotalRetransmits(endpoints)))
+	reg.Counter("reliable_duplicates_total", "duplicate frames suppressed by receivers").
+		Add(int64(TotalDuplicates(endpoints)))
+	reg.Counter("reliable_abandoned_total", "frames given up after maxRetries").
+		Add(int64(TotalAbandoned(endpoints)))
+}
+
+func sum(endpoints []*Endpoint, f func(*Endpoint) int) int {
+	total := 0
+	for _, e := range endpoints {
+		total += f(e)
 	}
 	return total
 }

@@ -8,6 +8,7 @@ import (
 	"overlaymatch/internal/gen"
 	"overlaymatch/internal/lid"
 	"overlaymatch/internal/matching"
+	"overlaymatch/internal/metrics"
 	"overlaymatch/internal/pref"
 	"overlaymatch/internal/rng"
 	"overlaymatch/internal/satisfaction"
@@ -188,6 +189,36 @@ func TestLIDOverLossyEqualsLIC(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPublishMetrics(t *testing.T) {
+	_, _, eps, stats := lidOverLossy(t, 11, 20, 0.3)
+	reg := metrics.New()
+	PublishMetrics(reg, eps)
+	PublishMetrics(nil, eps) // nil sink must be a no-op, not a panic
+
+	counter := func(name string) int { return int(reg.Counter(name, "").Value()) }
+	if counter("reliable_retransmits_total") != TotalRetransmits(eps) {
+		t.Fatal("retransmit counter disagrees with endpoint view")
+	}
+	if counter("reliable_duplicates_total") != TotalDuplicates(eps) {
+		t.Fatal("duplicate counter disagrees with endpoint view")
+	}
+	if counter("reliable_abandoned_total") != TotalAbandoned(eps) {
+		t.Fatal("abandoned counter disagrees with endpoint view")
+	}
+	// Every DATA frame and every ACK the endpoints sent went through
+	// simnet (drops happen after send), so the frame/ack totals must
+	// equal the per-kind send counts.
+	if counter("reliable_acks_total") != stats.SentByKind["ACK"] {
+		t.Fatalf("acks: registry %d, simnet %d",
+			counter("reliable_acks_total"), stats.SentByKind["ACK"])
+	}
+	wantFrames := stats.TotalSent() - stats.SentByKind["ACK"]
+	if counter("reliable_frames_total") != wantFrames {
+		t.Fatalf("frames: registry %d, simnet non-ack sends %d",
+			counter("reliable_frames_total"), wantFrames)
 	}
 }
 

@@ -1,0 +1,55 @@
+package robust
+
+import (
+	"testing"
+
+	"overlaymatch/internal/metrics"
+	"overlaymatch/internal/simnet"
+)
+
+// TestScenarioPublishesMetrics: a scenario run with a sink registry
+// attached must publish its tolerance counters (and the underlying
+// simnet instruments) without changing the outcome.
+func TestScenarioPublishesMetrics(t *testing.T) {
+	s := randomSystem(t, 4, 30, 0.3, 2)
+	base := Scenario{
+		System:      s,
+		Adversaries: FractionAdversaries(30, 0.2, AdvCrash),
+		Timeout:     50,
+		Options:     simnet.Options{Seed: 4, Latency: simnet.UniformLatency(1, 3)},
+	}
+	plain, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sink := metrics.New()
+	instrumented := base
+	instrumented.Options.Metrics = sink
+	out, err := instrumented.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.HonestMatching.Equal(plain.HonestMatching) {
+		t.Fatal("metrics sink changed the honest matching")
+	}
+
+	counter := func(name string) int { return int(sink.Counter(name, "").Value()) }
+	if counter("robust_runs_total") != 1 {
+		t.Fatalf("robust_runs_total = %d", counter("robust_runs_total"))
+	}
+	if counter("robust_revocations_total") != out.Revocations {
+		t.Fatalf("revocations: registry %d, outcome %d",
+			counter("robust_revocations_total"), out.Revocations)
+	}
+	if counter("robust_dead_locks_total") != out.DeadLocks {
+		t.Fatalf("dead locks: registry %d, outcome %d",
+			counter("robust_dead_locks_total"), out.DeadLocks)
+	}
+	if counter("robust_honest_locked_edges_total") != out.HonestMatching.Size() {
+		t.Fatal("locked-edge counter disagrees with the matching")
+	}
+	if counter("simnet_deliveries_total") != out.Stats.Deliveries {
+		t.Fatal("simnet instruments missing from the sink")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"overlaymatch/internal/graph"
 	"overlaymatch/internal/matching"
+	"overlaymatch/internal/metrics"
 	"overlaymatch/internal/pref"
 	"overlaymatch/internal/satisfaction"
 	"overlaymatch/internal/simnet"
@@ -150,7 +151,29 @@ func (sc Scenario) Run() (Outcome, error) {
 		return out, err
 	}
 	out.BaselineSatisfaction = base
+	out.publish(sc.Options.Metrics)
 	return out, nil
+}
+
+// publish adds the outcome's tolerance counters to the run's metrics
+// sink (the same registry the simnet instruments merged into). The
+// Outcome fields remain the exact per-run view; the registry
+// aggregates across scenario runs. Nil-safe.
+func (out *Outcome) publish(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("robust_runs_total", "completed adversarial scenario runs").Inc()
+	reg.Counter("robust_violations_total", "protocol violations detected by honest nodes").
+		Add(int64(out.Violations))
+	reg.Counter("robust_revocations_total", "timed-out proposals revoked").
+		Add(int64(out.Revocations))
+	reg.Counter("robust_dissolved_locks_total", "locks dissolved after peer failure").
+		Add(int64(out.DissolvedLocks))
+	reg.Counter("robust_dead_locks_total", "honest locks wasted on adversarial peers").
+		Add(int64(out.DeadLocks))
+	reg.Counter("robust_honest_locked_edges_total", "honest-honest connections locked").
+		Add(int64(out.HonestMatching.Size()))
 }
 
 // honestBaseline computes the total satisfaction of LIC on the

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"overlaymatch/internal/metrics"
 )
 
 // GoRunner executes a protocol with one goroutine per node and
@@ -26,7 +28,9 @@ type GoRunner struct {
 	closed      bool
 
 	boxes []*mailbox
-	stats Stats
+	ins   *instruments
+	sink  *metrics.Registry
+	trace func(TraceEntry)
 }
 
 // NewGoRunner returns a GoRunner for n nodes. timeout bounds Run's
@@ -46,11 +50,7 @@ func NewGoRunner(n int, timeout time.Duration) *GoRunner {
 		initPending: n,
 		halted:      make([]bool, n),
 		boxes:       make([]*mailbox, n),
-		stats: Stats{
-			SentByNode:     make([]int, n),
-			ReceivedByNode: make([]int, n),
-			SentByKind:     make(map[string]int),
-		},
+		ins:         newInstruments(n),
 	}
 	r.cond = sync.NewCond(&r.mu)
 	for i := range r.boxes {
@@ -87,6 +87,21 @@ func (r *GoRunner) SetTimeUnit(d time.Duration) {
 	r.timeUnit = d
 }
 
+// SetTrace installs a delivery callback, making -tracelog work under
+// the goroutine runtime. fn is invoked from the per-node goroutines —
+// concurrently, in scheduler order, with Time 0 (the GoRunner has no
+// global clock) — so it must be safe for concurrent use
+// (trace.Collector is). Call before Run.
+func (r *GoRunner) SetTrace(fn func(TraceEntry)) { r.trace = fn }
+
+// SetMetricsSink sets a shared registry that receives a Merge of the
+// run's private instrument registry when Run finishes. Call before
+// Run.
+func (r *GoRunner) SetMetricsSink(sink *metrics.Registry) { r.sink = sink }
+
+// Metrics returns the run's private instrument registry.
+func (r *GoRunner) Metrics() *metrics.Registry { return r.ins.reg }
+
 // SetTimer implements TimerSetter: msg is pushed back to this node's
 // own mailbox after delay virtual time units of wall-clock time.
 // Pending timers keep the run alive (they count as outstanding work).
@@ -112,10 +127,13 @@ func (c *goCtx) Send(to int, msg Message) {
 	}
 	r.mu.Lock()
 	r.outstanding++
-	r.stats.SentByNode[c.id]++
-	r.stats.SentByKind[KindOf(msg)]++
 	r.mu.Unlock()
-	r.boxes[to].push(delivery{from: c.id, msg: msg})
+	// The message counters are atomic registry instruments; they no
+	// longer need r.mu.
+	r.ins.sentByNode.Inc(c.id)
+	r.ins.sent.With(KindOf(msg)).Inc()
+	depth := r.boxes[to].push(delivery{from: c.id, msg: msg})
+	r.ins.queueDepthMax.SetMax(float64(depth))
 }
 
 // done reports (under r.mu) whether the run has globally terminated.
@@ -126,8 +144,9 @@ func (r *GoRunner) doneLocked() bool {
 // Run executes the protocol and blocks until global termination or
 // timeout. On timeout it returns an error describing the stuck nodes.
 func (r *GoRunner) Run(handlers []Handler) (Stats, error) {
+	defer func() { r.ins.mergeInto(r.sink) }()
 	if len(handlers) != r.n {
-		return r.stats, fmt.Errorf("simnet: %d handlers for %d nodes", len(handlers), r.n)
+		return r.ins.stats(), fmt.Errorf("simnet: %d handlers for %d nodes", len(handlers), r.n)
 	}
 	var wg sync.WaitGroup
 	for id := 0; id < r.n; id++ {
@@ -145,15 +164,18 @@ func (r *GoRunner) Run(handlers []Handler) (Stats, error) {
 				if !ok {
 					return
 				}
+				if r.trace != nil {
+					r.trace(TraceEntry{From: d.from, To: id, Msg: d.msg})
+				}
 				handlers[id].HandleMessage(ctx, d.from, d.msg)
+				if d.timer {
+					r.ins.timersFired.Inc()
+				} else {
+					r.ins.deliveries.Inc()
+					r.ins.receivedByNode.Inc(id)
+				}
 				r.mu.Lock()
 				r.outstanding--
-				if d.timer {
-					r.stats.TimersFired++
-				} else {
-					r.stats.Deliveries++
-					r.stats.ReceivedByNode[id]++
-				}
 				r.cond.Broadcast()
 				r.mu.Unlock()
 			}
@@ -202,15 +224,4 @@ func (r *GoRunner) Run(handlers []Handler) (Stats, error) {
 	}
 }
 
-func (r *GoRunner) snapshotStats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := r.stats
-	out.SentByNode = append([]int(nil), r.stats.SentByNode...)
-	out.ReceivedByNode = append([]int(nil), r.stats.ReceivedByNode...)
-	out.SentByKind = make(map[string]int, len(r.stats.SentByKind))
-	for k, v := range r.stats.SentByKind {
-		out.SentByKind[k] = v
-	}
-	return out
-}
+func (r *GoRunner) snapshotStats() Stats { return r.ins.stats() }

@@ -27,16 +27,18 @@ func newMailbox() *mailbox {
 	return mb
 }
 
-// push enqueues d; it never blocks. Pushing to a closed mailbox drops
-// the message (the owner has stopped reading for good).
-func (mb *mailbox) push(d delivery) {
+// push enqueues d and returns the resulting queue depth (for the
+// high-water-mark gauge); it never blocks. Pushing to a closed mailbox
+// drops the message (the owner has stopped reading for good).
+func (mb *mailbox) push(d delivery) int {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	if mb.closed {
-		return
+		return len(mb.items)
 	}
 	mb.items = append(mb.items, d)
 	mb.cond.Signal()
+	return len(mb.items)
 }
 
 // pop dequeues the oldest message, blocking until one arrives or the

@@ -3,6 +3,7 @@ package simnet
 import (
 	"fmt"
 
+	"overlaymatch/internal/metrics"
 	"overlaymatch/internal/rng"
 )
 
@@ -68,9 +69,17 @@ type Options struct {
 	// maintenance protocols (package dlid) that idle between injected
 	// events rather than terminating.
 	Quiesce bool
+	// Metrics, if non-nil, is a shared sink registry: when Run
+	// finishes (normally or not), the run's private instrument
+	// registry is merged into it (counters/histograms add, gauges take
+	// the max). The runner never writes to the sink on the hot path,
+	// so a sink shared across runs costs nothing per message.
+	Metrics *metrics.Registry
 }
 
-// Runner is the deterministic discrete-event simulator.
+// Runner is the deterministic discrete-event simulator. Its counters
+// are registry-backed (see instruments); Stats is derived from them as
+// a snapshot view when Run returns.
 type Runner struct {
 	n       int
 	opts    Options
@@ -78,7 +87,7 @@ type Runner struct {
 	queue   eventQueue
 	seq     int
 	halted  []bool
-	stats   Stats
+	ins     *instruments
 	running bool
 }
 
@@ -156,13 +165,13 @@ func NewRunner(n int, opts Options) *Runner {
 		opts:   opts,
 		src:    rng.New(opts.Seed),
 		halted: make([]bool, n),
-		stats: Stats{
-			SentByNode:     make([]int, n),
-			ReceivedByNode: make([]int, n),
-			SentByKind:     make(map[string]int),
-		},
+		ins:    newInstruments(n),
 	}
 }
+
+// Metrics returns the run's private instrument registry — render or
+// merge it after Run for per-run observability.
+func (r *Runner) Metrics() *metrics.Registry { return r.ins.reg }
 
 // runnerCtx implements Context for one delivery.
 type runnerCtx struct {
@@ -180,18 +189,20 @@ func (c *runnerCtx) Send(to int, msg Message) {
 	if to < 0 || to >= r.n {
 		panic(fmt.Sprintf("simnet: send to %d outside [0,%d)", to, r.n))
 	}
-	r.stats.SentByNode[c.id]++
-	r.stats.SentByKind[KindOf(msg)]++
+	r.ins.sentByNode.Inc(c.id)
+	r.ins.sent.With(KindOf(msg)).Inc()
 	if r.opts.Drop != nil && r.opts.Drop(c.id, to, r.src) {
-		r.stats.Dropped++
+		r.ins.dropped.Inc()
 		return
 	}
 	lat := r.opts.Latency(c.id, to, r.src)
 	if lat <= 0 {
 		panic("simnet: non-positive latency")
 	}
+	r.ins.sendLatency.Observe(lat)
 	r.seq++
 	r.queue.push(event{time: c.time + lat, seq: r.seq, from: c.id, to: to, msg: msg})
+	r.ins.queueDepthMax.SetMax(float64(len(r.queue)))
 }
 
 // SetTimer implements TimerSetter: deliver msg back to this node after
@@ -204,6 +215,7 @@ func (c *runnerCtx) SetTimer(delay float64, msg Message) {
 	r := c.r
 	r.seq++
 	r.queue.push(event{time: c.time + delay, seq: r.seq, from: c.id, to: c.id, msg: msg, timer: true})
+	r.ins.queueDepthMax.SetMax(float64(len(r.queue)))
 }
 
 // Run executes the protocol: Init on every node (in ID order, at time
@@ -213,11 +225,12 @@ func (c *runnerCtx) SetTimer(delay float64, msg Message) {
 // (which for a correct protocol means a node is waiting forever — the
 // situation Lemma 5 excludes for LID).
 func (r *Runner) Run(handlers []Handler) (Stats, error) {
+	defer r.ins.mergeInto(r.opts.Metrics)
 	if len(handlers) != r.n {
-		return r.stats, fmt.Errorf("simnet: %d handlers for %d nodes", len(handlers), r.n)
+		return r.ins.stats(), fmt.Errorf("simnet: %d handlers for %d nodes", len(handlers), r.n)
 	}
 	if r.running {
-		return r.stats, fmt.Errorf("simnet: Runner is single-use")
+		return r.ins.stats(), fmt.Errorf("simnet: Runner is single-use")
 	}
 	r.running = true
 	for id := 0; id < r.n; id++ {
@@ -225,22 +238,24 @@ func (r *Runner) Run(handlers []Handler) (Stats, error) {
 	}
 	// ctx is reused across deliveries: Contexts are documented as only
 	// valid for the duration of the handler call, and reusing the one
-	// allocation removes per-delivery garbage.
+	// allocation removes per-delivery garbage. delivered mirrors the
+	// delivery counters locally to keep the MaxDeliveries guard off
+	// the atomic read path.
 	ctx := &runnerCtx{r: r}
+	delivered := 0
 	for len(r.queue) > 0 {
 		e := r.queue.pop()
-		if r.opts.MaxDeliveries > 0 && r.stats.Deliveries+r.stats.TimersFired >= r.opts.MaxDeliveries {
-			return r.stats, fmt.Errorf("simnet: exceeded %d deliveries", r.opts.MaxDeliveries)
+		if r.opts.MaxDeliveries > 0 && delivered >= r.opts.MaxDeliveries {
+			return r.ins.stats(), fmt.Errorf("simnet: exceeded %d deliveries", r.opts.MaxDeliveries)
 		}
+		delivered++
 		if e.timer {
-			r.stats.TimersFired++
+			r.ins.timersFired.Inc()
 		} else {
-			r.stats.Deliveries++
-			r.stats.ReceivedByNode[e.to]++
+			r.ins.deliveries.Inc()
+			r.ins.receivedByNode.Inc(e.to)
 		}
-		if e.time > r.stats.FinalTime {
-			r.stats.FinalTime = e.time
-		}
+		r.ins.finalTime.SetMax(e.time)
 		if r.opts.Trace != nil {
 			r.opts.Trace(TraceEntry{Time: e.time, From: e.from, To: e.to, Msg: e.msg})
 		}
@@ -250,11 +265,11 @@ func (r *Runner) Run(handlers []Handler) (Stats, error) {
 	if !r.opts.Quiesce {
 		for id, h := range r.halted {
 			if !h {
-				return r.stats, fmt.Errorf("simnet: node %d never halted (deadlock)", id)
+				return r.ins.stats(), fmt.Errorf("simnet: node %d never halted (deadlock)", id)
 			}
 		}
 	}
-	return r.stats, nil
+	return r.ins.stats(), nil
 }
 
 // Schedule enqueues an external command to be delivered to node `to`
@@ -273,4 +288,5 @@ func (r *Runner) Schedule(at float64, to int, msg Message) {
 	}
 	r.seq++
 	r.queue.push(event{time: at, seq: r.seq, from: to, to: to, msg: msg, timer: true})
+	r.ins.queueDepthMax.SetMax(float64(len(r.queue)))
 }

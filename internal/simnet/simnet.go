@@ -54,7 +54,13 @@ type Context interface {
 	Time() float64
 }
 
-// Stats summarizes one run.
+// Stats summarizes one run. It is a snapshot view over the run's
+// registry-backed instruments (package metrics): both runtimes count
+// into atomic counters/vectors/families in a private per-run registry,
+// and Stats is materialized from that registry when Run returns, so
+// existing consumers stay bit-identical while the same numbers are
+// available through Runner.Metrics / GoRunner.Metrics and any shared
+// sink registry.
 type Stats struct {
 	// SentByNode[i] = messages node i sent.
 	SentByNode []int

@@ -12,7 +12,9 @@ import (
 	"sort"
 )
 
-// Summary holds descriptive statistics of a sample.
+// Summary holds descriptive statistics of a sample. P50 equals Median
+// (both kept: Median for the table writers, P50 for symmetry with the
+// metrics exporters' p50/p95/p99 vocabulary).
 type Summary struct {
 	N      int
 	Mean   float64
@@ -21,8 +23,10 @@ type Summary struct {
 	Max    float64
 	P25    float64
 	Median float64
+	P50    float64
 	P75    float64
 	P95    float64
+	P99    float64
 }
 
 // Summarize computes a Summary. An empty sample yields a zero Summary.
@@ -46,6 +50,7 @@ func Summarize(xs []float64) Summary {
 	if len(sorted) > 1 {
 		std = math.Sqrt(ss / float64(len(sorted)-1))
 	}
+	p50 := Percentile(sorted, 0.50)
 	return Summary{
 		N:      len(sorted),
 		Mean:   mean,
@@ -53,9 +58,11 @@ func Summarize(xs []float64) Summary {
 		Min:    sorted[0],
 		Max:    sorted[len(sorted)-1],
 		P25:    Percentile(sorted, 0.25),
-		Median: Percentile(sorted, 0.50),
+		Median: p50,
+		P50:    p50,
 		P75:    Percentile(sorted, 0.75),
 		P95:    Percentile(sorted, 0.95),
+		P99:    Percentile(sorted, 0.99),
 	}
 }
 

@@ -26,12 +26,65 @@ func TestSummarizeKnownSample(t *testing.T) {
 }
 
 func TestSummarizeEmptyAndSingle(t *testing.T) {
-	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.P50 != 0 || s.P99 != 0 {
 		t.Fatal("empty summary nonzero")
 	}
 	s := Summarize([]float64{7})
 	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 || s.P95 != 7 {
 		t.Fatalf("single-sample summary wrong: %+v", s)
+	}
+	// Every quantile of a single-element sample is that element.
+	if s.P50 != 7 || s.P99 != 7 || s.P25 != 7 || s.P75 != 7 {
+		t.Fatalf("single-sample quantiles wrong: %+v", s)
+	}
+}
+
+func TestSummarizeQuantileFields(t *testing.T) {
+	// 1..100: the interpolated quantiles are easy to state exactly.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s := Summarize(xs)
+	if s.P50 != s.Median {
+		t.Fatalf("P50 %v != Median %v", s.P50, s.Median)
+	}
+	if !almostEqual(s.P50, 50.5) {
+		t.Fatalf("p50 = %v, want 50.5", s.P50)
+	}
+	if !almostEqual(s.P95, 95.05) {
+		t.Fatalf("p95 = %v, want 95.05", s.P95)
+	}
+	if !almostEqual(s.P99, 99.01) {
+		t.Fatalf("p99 = %v, want 99.01", s.P99)
+	}
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+}
+
+func TestSummarizeDuplicateHeavy(t *testing.T) {
+	// 97 copies of 1 and three outliers: the high quantiles must sit on
+	// the flat mass until the very tail.
+	xs := make([]float64, 0, 100)
+	for i := 0; i < 97; i++ {
+		xs = append(xs, 1)
+	}
+	xs = append(xs, 50, 80, 100)
+	s := Summarize(xs)
+	if s.P50 != 1 || s.P25 != 1 || s.P75 != 1 {
+		t.Fatalf("bulk quantiles should be 1: %+v", s)
+	}
+	if s.P95 != 1 {
+		t.Fatalf("p95 = %v, want 1 (95th rank is still inside the flat mass)", s.P95)
+	}
+	if s.P99 <= 1 || s.P99 > 100 {
+		t.Fatalf("p99 = %v, want in (1,100]", s.P99)
+	}
+	// All-identical sample: zero spread, all quantiles equal.
+	same := Summarize([]float64{3, 3, 3, 3, 3})
+	if same.Std != 0 || same.P50 != 3 || same.P95 != 3 || same.P99 != 3 {
+		t.Fatalf("identical sample summary wrong: %+v", same)
 	}
 }
 

@@ -1,16 +1,20 @@
 // Package trace records and renders protocol executions: a Collector
-// captures every delivery from the event simulator, and renderers turn
-// the capture into (a) a human-readable message-sequence log, (b) a
-// per-kind/per-time summary, and (c) Graphviz DOT of the final overlay
-// (potential edges gray, locked connections bold, labelled with their
-// eq.-9 weights). cmd/overlaysim exposes all three.
+// captures every delivery from either simnet runtime, and renderers
+// turn the capture into (a) a human-readable message-sequence log,
+// (b) a per-kind/per-time summary, (c) newline-delimited JSON
+// (one structured record per delivery — the machine-readable form),
+// and (d) Graphviz DOT of the final overlay (potential edges gray,
+// locked connections bold, labelled with their eq.-9 weights).
+// cmd/overlaysim exposes all of them.
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"overlaymatch/internal/matching"
 	"overlaymatch/internal/pref"
@@ -19,36 +23,79 @@ import (
 )
 
 // Collector accumulates deliveries; plug its Record method into
-// simnet.Options.Trace. Not safe for concurrent use (the event Runner
-// is single-threaded).
+// simnet.Options.Trace (event runtime) or GoRunner.SetTrace
+// (goroutine runtime). It is mutex-guarded and safe for concurrent
+// use, which the goroutine runtime requires: its per-node goroutines
+// record deliveries concurrently, in scheduler order.
 type Collector struct {
+	mu      sync.Mutex
 	entries []simnet.TraceEntry
 }
 
 // Record implements the simnet trace callback.
 func (c *Collector) Record(e simnet.TraceEntry) {
+	c.mu.Lock()
 	c.entries = append(c.entries, e)
+	c.mu.Unlock()
 }
 
 // Len returns the number of recorded deliveries.
-func (c *Collector) Len() int { return len(c.entries) }
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
 
-// Entries returns the recorded deliveries in delivery order.
-func (c *Collector) Entries() []simnet.TraceEntry { return c.entries }
+// Entries returns a copy of the recorded deliveries in record order.
+func (c *Collector) Entries() []simnet.TraceEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]simnet.TraceEntry(nil), c.entries...)
+}
+
+// kindOrValue renders a message's kind label, falling back to its
+// value for unkinded messages.
+func kindOrValue(msg simnet.Message) string {
+	if kind := simnet.KindOf(msg); kind != "" {
+		return kind
+	}
+	return fmt.Sprintf("%v", msg)
+}
 
 // WriteLog renders the message-sequence log: one line per delivery,
-// time-ordered, e.g. "  3.42  7 -> 12  PROP".
+// in record order, e.g. "  3.42  7 -> 12  PROP".
 func (c *Collector) WriteLog(w io.Writer) error {
 	var b strings.Builder
-	for _, e := range c.entries {
-		kind := simnet.KindOf(e.Msg)
-		if kind == "" {
-			kind = fmt.Sprintf("%v", e.Msg)
-		}
-		fmt.Fprintf(&b, "%8.3f  %4d -> %-4d %s\n", e.Time, e.From, e.To, kind)
+	for _, e := range c.Entries() {
+		fmt.Fprintf(&b, "%8.3f  %4d -> %-4d %s\n", e.Time, e.From, e.To, kindOrValue(e.Msg))
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// ndjsonEntry is the wire schema of one WriteNDJSON record.
+type ndjsonEntry struct {
+	Seq  int     `json:"seq"`
+	Time float64 `json:"time"`
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	Kind string  `json:"kind"`
+}
+
+// WriteNDJSON renders the capture as newline-delimited JSON, one
+// record per delivery with a record-order sequence number — the
+// structured trace format shared by both runtimes (the goroutine
+// runtime has no virtual clock, so its records carry time 0 and rely
+// on seq for ordering).
+func (c *Collector) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i, e := range c.Entries() {
+		rec := ndjsonEntry{Seq: i, Time: e.Time, From: e.From, To: e.To, Kind: kindOrValue(e.Msg)}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Summary aggregates the capture per message kind.
@@ -62,7 +109,7 @@ type Summary struct {
 // Summarize returns per-kind aggregates sorted by kind.
 func (c *Collector) Summarize() []Summary {
 	agg := map[string]*Summary{}
-	for _, e := range c.entries {
+	for _, e := range c.Entries() {
 		kind := simnet.KindOf(e.Msg)
 		s, ok := agg[kind]
 		if !ok {

@@ -1,7 +1,10 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 
 	"overlaymatch/internal/gen"
@@ -97,5 +100,84 @@ func TestWriteDOT(t *testing.T) {
 	}
 	if strings.Count(out, " -- ") != s.Graph().NumEdges() {
 		t.Fatal("edge count mismatch in DOT")
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	c, _, res := tracedRun(t)
+	var b bytes.Buffer
+	if err := c.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != res.Stats.Deliveries {
+		t.Fatalf("ndjson has %d records, want %d", len(lines), res.Stats.Deliveries)
+	}
+	for i, line := range lines {
+		var rec struct {
+			Seq  int     `json:"seq"`
+			Time float64 `json:"time"`
+			From int     `json:"from"`
+			To   int     `json:"to"`
+			Kind string  `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("record %d invalid: %v (%s)", i, err, line)
+		}
+		if rec.Seq != i {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+		if rec.Kind != "PROP" && rec.Kind != "REJ" {
+			t.Fatalf("record %d has kind %q", i, rec.Kind)
+		}
+	}
+}
+
+// TestCollectorConcurrentRecord exercises the mutex guard: the
+// goroutine runtime records from many goroutines at once.
+func TestCollectorConcurrentRecord(t *testing.T) {
+	var c Collector
+	const writers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Record(simnet.TraceEntry{From: w, To: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != writers*per {
+		t.Fatalf("captured %d, want %d", c.Len(), writers*per)
+	}
+}
+
+// TestCollectorOnGoroutineRuntime runs LID on the goroutine runtime
+// with the collector attached — the satellite fix for
+// `-tracelog -runtime goroutine`.
+func TestCollectorOnGoroutineRuntime(t *testing.T) {
+	src := rng.New(3)
+	g := gen.GNP(src, 15, 0.4)
+	s, err := pref.Build(g, pref.NewRandomMetric(src.Split()), pref.UniformQuota(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := satisfaction.NewTable(s)
+	var c Collector
+	res, err := lid.RunGoroutinesOpts(s, tbl, lid.GoOptions{Trace: c.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != res.Stats.Deliveries {
+		t.Fatalf("captured %d, delivered %d", c.Len(), res.Stats.Deliveries)
+	}
+	var b bytes.Buffer
+	if err := c.WriteLog(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "PROP") {
+		t.Fatal("goroutine-runtime log missing PROP lines")
 	}
 }
