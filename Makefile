@@ -3,17 +3,20 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short race race-core vet fuzz bench experiments examples cover clean
+.PHONY: all build check test test-short race race-core vet fuzz fuzz-smoke bench experiments examples cover clean
 
 all: build vet test
 
 # The default pre-commit gate: full build + vet + tests, plus the race
-# detector on the concurrency-bearing packages (the metrics registry
-# and both simnet runtimes).
-check: build vet test race-core
+# detector on the concurrency-bearing packages (the metrics registry,
+# both simnet runtimes, and the fault-injection explorer) and a short
+# fuzz pass over the parsers.
+check: build vet test race-core fuzz-smoke
 
-race-core:
-	$(GO) test -race ./internal/metrics/... ./internal/simnet/...
+# Vet first so a broken build fails fast instead of surfacing as a
+# confusing mid-run race failure.
+race-core: vet
+	$(GO) test -race -short ./internal/metrics/... ./internal/simnet/... ./internal/faults/...
 
 build:
 	$(GO) build ./...
@@ -33,6 +36,12 @@ race:
 # Continuous fuzzing entry points (ctrl-C to stop).
 fuzz:
 	$(GO) test -fuzz FuzzLIDEquivalence -fuzztime 60s ./internal/lid
+
+# Short deterministic-budget fuzz pass over the input parsers — the
+# CI-sized version of `fuzz` (30s per target).
+fuzz-smoke:
+	$(GO) test -fuzz FuzzFaultSpecParse -fuzztime 30s ./internal/faults
+	$(GO) test -fuzz FuzzReplayFile -fuzztime 30s ./internal/faults
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"overlaymatch/internal/experiments"
+	"overlaymatch/internal/faults"
 	"overlaymatch/internal/metrics"
 )
 
@@ -38,6 +39,8 @@ func main() {
 		manOut  = flag.String("manifest", "", "write a run manifest (params, go version, timings, metrics) as JSON to this file")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		faultsF = flag.String("faults", "off", "fault-injection spec threaded into the message-level experiments (see internal/faults)")
+		faultSd = flag.Uint64("faults-seed", 0, "seed of the injection streams (0 = derive from -seed)")
 	)
 	flag.Parse()
 
@@ -88,6 +91,17 @@ func main() {
 	}
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
+	if *faultsF != "" && *faultsF != "off" {
+		spec, err := faults.Parse(*faultsF)
+		if err != nil {
+			fail("%v", err)
+		}
+		cfg.Faults = &spec
+		cfg.FaultsSeed = *faultSd
+		if cfg.FaultsSeed == 0 {
+			cfg.FaultsSeed = *seed ^ 0x5fa715ca11edc0de
+		}
+	}
 	if *metOut || *manOut != "" {
 		cfg.Metrics = metrics.New()
 	}

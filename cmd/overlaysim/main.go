@@ -19,12 +19,14 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"overlaymatch/internal/faults"
 	"overlaymatch/internal/gen"
 	"overlaymatch/internal/graph"
 	"overlaymatch/internal/lid"
 	"overlaymatch/internal/matching"
 	"overlaymatch/internal/metrics"
 	"overlaymatch/internal/pref"
+	"overlaymatch/internal/reliable"
 	"overlaymatch/internal/rng"
 	"overlaymatch/internal/satisfaction"
 	"overlaymatch/internal/simnet"
@@ -55,9 +57,19 @@ func main() {
 		metFmt   = flag.String("metrics-format", "text", "metric snapshot format: text | json | prom")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		faultStr = flag.String("faults", "off", "fault-injection spec, e.g. drop=0.1,dup=0.05,partition=20:60:0-9 (see internal/faults)")
+		faultSd  = flag.Uint64("faults-seed", 0, "seed of the injection stream (0 = derive from -seed)")
+		reliab   = flag.Bool("reliable", false, "wrap LID in the ack/retransmit substrate (required for drop/corrupt faults)")
+		rto      = flag.Float64("rto", 30, "retransmission timeout in virtual time units (-reliable)")
+		replay   = flag.String("replay", "", "re-execute a frozen replay file (see faults.Explore) and report the verdict")
 		verbose  = flag.Bool("v", false, "print per-peer connections")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		runReplayFile(*replay)
+		return
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -78,9 +90,24 @@ func main() {
 		}()
 	}
 
+	spec, err := faults.Parse(*faultStr)
+	if err != nil {
+		fail("%v", err)
+	}
+	if !spec.PreservesDelivery() && !*reliab {
+		fail("-faults %q loses messages; bare LID needs -reliable to survive it", *faultStr)
+	}
+	if *runtime_ == "centralized" && (!spec.IsZero() || *reliab) {
+		fail("-faults/-reliable require a distributed runtime (event or goroutine)")
+	}
+	fseed := *faultSd
+	if fseed == 0 {
+		fseed = *seed ^ 0x5fa715ca11edc0de
+	}
 	opts := reportOpts{seed: *seed, runtime: *runtime_, jitter: *jitter,
 		verbose: *verbose, dotPath: *dotOut, tracePath: *traceOut, traceFormat: *traceFmt,
-		showMetrics: *metOut, metricsFormat: *metFmt}
+		showMetrics: *metOut, metricsFormat: *metFmt,
+		faults: spec, faultsSeed: fseed, reliable: *reliab, rto: *rto}
 	switch *traceFmt {
 	case "log", "ndjson":
 	default:
@@ -176,6 +203,60 @@ type reportOpts struct {
 	traceFormat   string // log | ndjson
 	showMetrics   bool
 	metricsFormat string // text | json | prom
+	faults        faults.Spec
+	faultsSeed    uint64
+	reliable      bool
+	rto           float64
+}
+
+// policy returns the run's fault-injection policy (nil when -faults is
+// off, keeping the run byte-identical to earlier releases).
+func (o reportOpts) policy() simnet.LinkPolicy {
+	if o.faults.IsZero() {
+		return nil
+	}
+	return faults.NewInjector(o.faults, o.faultsSeed)
+}
+
+// runReplayFile re-executes a frozen fault replay (faults.ReplayFile)
+// and reports whether the recorded violation reproduces. Exit status:
+// 0 when the re-execution is consistent with the file (the recorded
+// violation reproduces, or a clean file stays clean), 1 otherwise.
+func runReplayFile(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	rf, err := faults.LoadReplay(f)
+	f.Close()
+	if err != nil {
+		fail("%v", err)
+	}
+	w := rf.Workload
+	fmt.Printf("replay %s: %s n=%d b=%d metric=%s seed=%d, spec %s, %d events, reliable=%v\n",
+		path, w.Topology, w.N, w.B, w.Metric, rf.Seed, rf.Spec, len(rf.Events), rf.Reliable)
+	if rf.Err != "" {
+		fmt.Printf("recorded violation: %s\n", rf.Err)
+	}
+	out, err := rf.Run()
+	if err != nil {
+		fail("replay: %v", err)
+	}
+	switch {
+	case out.Violation == "" && rf.Err == "":
+		fmt.Println("re-execution: clean (no recorded violation, none reproduced)")
+	case out.Violation == "":
+		fmt.Println("re-execution: CLEAN — the recorded violation did NOT reproduce")
+		os.Exit(1)
+	case out.Matches:
+		fmt.Printf("re-execution: violation reproduced: %s\n", out.Violation)
+	case rf.Err == "":
+		fmt.Printf("re-execution: violation found (file recorded none): %s\n", out.Violation)
+		os.Exit(1)
+	default:
+		fmt.Printf("re-execution: DIFFERENT violation: %s\n", out.Violation)
+		os.Exit(1)
+	}
 }
 
 // runWorkloadFile loads a frozen workload and simulates it.
@@ -212,38 +293,113 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 	fmt.Printf("acyclic=%v; guarantee: LID achieves >= %.4f of optimal total satisfaction (Theorem 3)\n\n",
 		pref.IsAcyclic(sys), satisfaction.Theorem3Bound(maxInt(sys.MaxQuota(), 1)))
 
+	policy := opts.policy()
+	var inj *faults.Injector
+	if in, ok := policy.(*faults.Injector); ok {
+		inj = in
+	}
+	var eps []*reliable.Endpoint
+	wrap := func(handlers []simnet.Handler) []simnet.Handler {
+		if !opts.reliable {
+			return handlers
+		}
+		eps = reliable.Wrap(handlers, opts.rto, 0)
+		return reliable.Handlers(eps)
+	}
+	reportFaults := func(st simnet.Stats) {
+		if inj != nil {
+			fmt.Printf("  faults: %s -> %d injections over %d sends\n",
+				opts.faults, len(inj.Events()), inj.Sends())
+		}
+		if eps != nil {
+			reliable.PublishMetrics(reg, eps)
+			fmt.Printf("  transport: rto %.1f, %d retransmits, %d duplicates suppressed, %d corrupt discarded\n",
+				opts.rto, reliable.TotalRetransmits(eps), reliable.TotalDuplicates(eps), reliable.TotalCorrupted(eps))
+		}
+		_ = st
+	}
+
 	var result *matching.Matching
 	start := time.Now()
 	switch runtime_ {
 	case "event":
-		res, err := lid.RunEvent(sys, tbl, simnet.Options{
-			Seed:    seed,
-			Latency: latency(jitter),
-			Trace:   traceFn,
-			Metrics: reg,
-		})
-		if err != nil {
-			fail("run: %v", err)
+		var st simnet.Stats
+		if opts.reliable {
+			nodes := lid.NewNodes(sys, tbl)
+			runner := simnet.NewRunner(g.NumNodes(), simnet.Options{
+				Seed:    seed,
+				Latency: latency(jitter),
+				Trace:   traceFn,
+				Metrics: reg,
+				Policy:  policy,
+			})
+			s, err := runner.Run(wrap(lid.Handlers(nodes)))
+			if err != nil {
+				fail("run: %v", err)
+			}
+			m, err := lid.BuildMatching(nodes)
+			if err != nil {
+				fail("run: %v", err)
+			}
+			result, st = m, s
+		} else {
+			res, err := lid.RunEvent(sys, tbl, simnet.Options{
+				Seed:    seed,
+				Latency: latency(jitter),
+				Trace:   traceFn,
+				Metrics: reg,
+				Policy:  policy,
+			})
+			if err != nil {
+				fail("run: %v", err)
+			}
+			result, st = res.Matching, res.Stats
 		}
-		result = res.Matching
 		fmt.Printf("distributed run (event simulator, jitter %.1f): %v\n", jitter, time.Since(start))
 		fmt.Printf("  messages: %d total (%d PROP, %d REJ), %.2f per peer, max %d\n",
-			res.Stats.TotalSent(), res.PropMessages, res.RejMessages,
-			float64(res.Stats.TotalSent())/float64(g.NumNodes()), res.Stats.MaxSentByNode())
-		fmt.Printf("  virtual time to quiescence: %.2f\n", res.Stats.FinalTime)
+			st.TotalSent(), st.SentByKind["PROP"], st.SentByKind["REJ"],
+			float64(st.TotalSent())/float64(g.NumNodes()), st.MaxSentByNode())
+		fmt.Printf("  virtual time to quiescence: %.2f\n", st.FinalTime)
+		reportFaults(st)
 	case "goroutine":
-		res, err := lid.RunGoroutinesOpts(sys, tbl, lid.GoOptions{
-			Timeout: 2 * time.Minute,
-			Trace:   traceFn,
-			Metrics: reg,
-		})
-		if err != nil {
-			fail("run: %v", err)
+		var st simnet.Stats
+		if opts.reliable {
+			nodes := lid.NewNodes(sys, tbl)
+			runner := simnet.NewGoRunner(g.NumNodes(), 2*time.Minute)
+			if traceFn != nil {
+				runner.SetTrace(traceFn)
+			}
+			if reg != nil {
+				runner.SetMetricsSink(reg)
+			}
+			if policy != nil {
+				runner.SetPolicy(policy)
+			}
+			s, err := runner.Run(wrap(lid.Handlers(nodes)))
+			if err != nil {
+				fail("run: %v", err)
+			}
+			m, err := lid.BuildMatching(nodes)
+			if err != nil {
+				fail("run: %v", err)
+			}
+			result, st = m, s
+		} else {
+			res, err := lid.RunGoroutinesOpts(sys, tbl, lid.GoOptions{
+				Timeout: 2 * time.Minute,
+				Trace:   traceFn,
+				Metrics: reg,
+				Policy:  policy,
+			})
+			if err != nil {
+				fail("run: %v", err)
+			}
+			result, st = res.Matching, res.Stats
 		}
-		result = res.Matching
 		fmt.Printf("distributed run (goroutines): %v\n", time.Since(start))
 		fmt.Printf("  messages: %d total (%d PROP, %d REJ)\n",
-			res.Stats.TotalSent(), res.PropMessages, res.RejMessages)
+			st.TotalSent(), st.SentByKind["PROP"], st.SentByKind["REJ"])
+		reportFaults(st)
 	case "centralized":
 		result = matching.LIC(sys, tbl)
 		fmt.Printf("centralized run (LIC scan): %v\n", time.Since(start))

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"overlaymatch/internal/faults"
 	"overlaymatch/internal/gen"
 	"overlaymatch/internal/matching"
 	"overlaymatch/internal/pref"
@@ -129,4 +130,59 @@ func TestRunWorkloadFile(t *testing.T) {
 	}
 	f.Close()
 	runWorkloadFile(path, reportOpts{seed: 3, runtime: "centralized"})
+}
+
+func TestRunAndReportWithFaults(t *testing.T) {
+	s := testSystem(t)
+	spec, err := faults.Parse("drop=0.1,dup=0.05,corrupt=0.03,delay=0.1,delayscale=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range []string{"event", "goroutine"} {
+		runAndReport(s, reportOpts{seed: 4, runtime: rt, jitter: 1,
+			faults: spec, faultsSeed: 99, reliable: true, rto: 30})
+	}
+	// Delivery-preserving faults on bare LID, no transport.
+	delayOnly, err := faults.Parse("delay=0.3,delayscale=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAndReport(s, reportOpts{seed: 4, runtime: "event", jitter: 1,
+		faults: delayOnly, faultsSeed: 7})
+}
+
+func TestRunReplayFile(t *testing.T) {
+	// Freeze a real violation (bare LID under duplication) and drive
+	// the -replay path with it.
+	w := faults.WorkloadSpec{Topology: "gnp", Metric: "random", N: 24, B: 2, Seed: 9}
+	sys, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := faults.Spec{Dup: 0.3}
+	rep := faults.Explore(faults.ExploreOptions{
+		Spec: spec, BaseSeed: 1, Count: 60, Workers: 4, MaxViolations: 1,
+	}, faults.LIDTrial(sys, faults.TrialOptions{Reliable: false}))
+	if len(rep.Violations) == 0 {
+		t.Fatal("no violation to freeze")
+	}
+	v := rep.Violations[0]
+	rf := &faults.ReplayFile{
+		Version:  faults.ReplayVersion,
+		Workload: w,
+		Seed:     v.Seed,
+		Spec:     spec.String(),
+		Err:      v.Err,
+		Events:   v.Events,
+	}
+	path := filepath.Join(t.TempDir(), "violation.replay.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	runReplayFile(path) // exits non-zero if the violation fails to reproduce
 }

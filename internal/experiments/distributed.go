@@ -41,6 +41,7 @@ func E2LIDEquivalence(cfg Config) ([]*stats.Table, error) {
 					res, err := lid.RunEvent(sys, tbl, simnet.Options{
 						Seed:    cfg.Seed + uint64(r)*131,
 						Latency: simnet.ExponentialLatency(6),
+						Policy:  cfg.policy(uint64(n)*1009 + uint64(r)),
 					})
 					if err != nil {
 						return nil, fmt.Errorf("E2 event run: %w", err)
@@ -51,7 +52,10 @@ func E2LIDEquivalence(cfg Config) ([]*stats.Table, error) {
 					}
 				}
 				for r := 0; r < goRuns; r++ {
-					res, err := lid.RunGoroutines(sys, tbl, 30*time.Second)
+					res, err := lid.RunGoroutinesOpts(sys, tbl, lid.GoOptions{
+						Timeout: 30 * time.Second,
+						Policy:  cfg.policy(uint64(n)*2027 + uint64(r)),
+					})
 					if err != nil {
 						return nil, fmt.Errorf("E2 goroutine run: %w", err)
 					}
@@ -94,6 +98,7 @@ func E5MessageComplexity(cfg Config) ([]*stats.Table, error) {
 				Seed:    cfg.Seed + uint64(n),
 				Latency: simnet.ExponentialLatency(4),
 				Metrics: cfg.Metrics,
+				Policy:  cfg.policy(uint64(5 * n)),
 			})
 			if err != nil {
 				return nil, err
@@ -124,6 +129,7 @@ func E5MessageComplexity(cfg Config) ([]*stats.Table, error) {
 			Seed:    cfg.Seed + uint64(b),
 			Latency: simnet.ExponentialLatency(4),
 			Metrics: cfg.Metrics,
+			Policy:  cfg.policy(0xb0b ^ uint64(b)),
 		})
 		if err != nil {
 			return nil, err
@@ -144,6 +150,7 @@ func E5MessageComplexity(cfg Config) ([]*stats.Table, error) {
 			Seed:    cfg.Seed + uint64(deg),
 			Latency: simnet.ExponentialLatency(4),
 			Metrics: cfg.Metrics,
+			Policy:  cfg.policy(0xdd ^ uint64(deg)),
 		})
 		if err != nil {
 			return nil, err
@@ -172,7 +179,9 @@ func E6ConvergenceRounds(cfg Config) ([]*stats.Table, error) {
 				return nil, err
 			}
 			sys := w.System
-			res, err := lid.RunEvent(sys, satisfaction.NewTable(sys), simnet.Options{Seed: cfg.Seed, Metrics: cfg.Metrics})
+			res, err := lid.RunEvent(sys, satisfaction.NewTable(sys), simnet.Options{
+				Seed: cfg.Seed, Metrics: cfg.Metrics, Policy: cfg.policy(uint64(7 * n)),
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -189,7 +198,9 @@ func E6ConvergenceRounds(cfg Config) ([]*stats.Table, error) {
 			return nil, err
 		}
 		sys := w.System
-		res, err := lid.RunEvent(sys, satisfaction.NewTable(sys), simnet.Options{Seed: cfg.Seed, Metrics: cfg.Metrics})
+		res, err := lid.RunEvent(sys, satisfaction.NewTable(sys), simnet.Options{
+			Seed: cfg.Seed, Metrics: cfg.Metrics, Policy: cfg.policy(0xe6 ^ uint64(b)),
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -16,8 +16,8 @@ func quickCfg() Config { return Config{Seed: 12345, Quick: true} }
 
 func TestAllRegistryComplete(t *testing.T) {
 	exps := All()
-	if len(exps) != 14 {
-		t.Fatalf("registry has %d experiments, want 14", len(exps))
+	if len(exps) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(exps))
 	}
 	for i, e := range exps {
 		want := "E" + strconv.Itoa(i+1)

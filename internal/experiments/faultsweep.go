@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"overlaymatch/internal/faults"
+	"overlaymatch/internal/lid"
+	"overlaymatch/internal/matching"
+	"overlaymatch/internal/reliable"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+	"overlaymatch/internal/stats"
+)
+
+// e15Intensity is one rung of the fault-intensity ladder.
+type e15Intensity struct {
+	name string
+	spec faults.Spec
+}
+
+func e15Ladder() []e15Intensity {
+	return []e15Intensity{
+		{"off", faults.Spec{}},
+		{"light", faults.Spec{Drop: 0.02, Dup: 0.01, Corrupt: 0.01, Delay: 0.05, DelayScale: 4}},
+		{"medium", faults.Spec{Drop: 0.08, Dup: 0.05, Corrupt: 0.03, Delay: 0.1, DelayScale: 6}},
+		{"heavy", faults.Spec{Drop: 0.2, Dup: 0.1, Corrupt: 0.08, Delay: 0.2, DelayScale: 8}},
+	}
+}
+
+// E15FaultSweep: LID through the reliable substrate under the faults
+// adversary at increasing intensity (package faults: independent
+// drop/duplicate/corrupt plus Pareto delay tails, all per-message).
+// Since reliable restores the paper's link model, the outcome must
+// equal LIC at every intensity — the table quantifies what the
+// adversary costs in retransmissions and convergence-time inflation
+// (virtual final time relative to the fault-free row of the same
+// topology). A Config.Faults spec, when set, is appended as an extra
+// "custom" rung.
+func E15FaultSweep(cfg Config) ([]*stats.Table, error) {
+	t := stats.NewTable("E15: LID+reliable under the fault-injection adversary",
+		"intensity", "topology", "runs", "equal to LIC", "injections",
+		"frames sent", "retransmits", "corrupt discarded", "rounds", "inflation")
+	n := cfg.pick(30, 80)
+	runs := cfg.pick(3, 12)
+	ladder := e15Ladder()
+	if cfg.Faults != nil && !cfg.Faults.IsZero() {
+		ladder = append(ladder, e15Intensity{"custom", *cfg.Faults})
+	}
+	baseRounds := map[string]float64{} // topology -> fault-free mean rounds
+	for _, step := range ladder {
+		for _, topo := range topologies()[:3] {
+			var (
+				equal, injections, frames, retrans, corrupted int
+				rounds                                        float64
+			)
+			for r := 0; r < runs; r++ {
+				w, err := buildWorkload(cfg.Seed^uint64(15*n)^uint64(r)*7919, topo, metrics()[0], n, 2)
+				if err != nil {
+					return nil, err
+				}
+				sys := w.System
+				tbl := satisfaction.NewTable(sys)
+				nodes := lid.NewNodes(sys, tbl)
+				eps := reliable.Wrap(lid.Handlers(nodes), 30, 0)
+				var policy simnet.LinkPolicy
+				var inj *faults.Injector
+				if !step.spec.IsZero() {
+					inj = faults.NewInjector(step.spec, cfg.FaultsSeed^(cfg.Seed+uint64(r)*104729))
+					policy = inj
+				}
+				runner := simnet.NewRunner(sys.Graph().NumNodes(), simnet.Options{
+					Seed:    cfg.Seed + uint64(r)*131 + 15,
+					Latency: simnet.ExponentialLatency(3),
+					Policy:  policy,
+					Metrics: cfg.Metrics,
+				})
+				st, err := runner.Run(reliable.Handlers(eps))
+				if err != nil {
+					return nil, fmt.Errorf("E15 %s/%s run %d: %w", step.name, topo.name, r, err)
+				}
+				reliable.PublishMetrics(cfg.Metrics, eps)
+				m, err := lid.BuildMatching(nodes)
+				if err != nil {
+					return nil, fmt.Errorf("E15 %s/%s run %d: %w", step.name, topo.name, r, err)
+				}
+				if m.Equal(matching.LIC(sys, tbl)) {
+					equal++
+				}
+				if inj != nil {
+					injections += len(inj.Events())
+				}
+				frames += st.TotalSent()
+				retrans += reliable.TotalRetransmits(eps)
+				corrupted += reliable.TotalCorrupted(eps)
+				rounds += st.FinalTime
+			}
+			mean := rounds / float64(runs)
+			if step.name == "off" {
+				baseRounds[topo.name] = mean
+			}
+			inflation := 0.0
+			if base := baseRounds[topo.name]; base > 0 {
+				inflation = mean / base
+			}
+			t.AddRowf(step.name, topo.name, runs, equal, injections,
+				frames/runs, retrans/runs, corrupted/runs, mean, inflation)
+			if equal != runs {
+				return nil, fmt.Errorf("E15: %s/%s broke the LIC equivalence (%d/%d) — delivery restored by reliable must preserve Lemmas 3-6",
+					step.name, topo.name, equal, runs)
+			}
+		}
+	}
+	return []*stats.Table{t}, nil
+}

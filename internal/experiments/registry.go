@@ -34,6 +34,7 @@ func All() []Experiment {
 		{"E12", "Adversaries vs tolerant LID (future-work extension)", E12Adversaries},
 		{"E13", "Coverage-first and local-search variants (future-work ablations)", E13Variants},
 		{"E14", "Distributed churn maintenance protocol (future-work extension)", E14Maintenance},
+		{"E15", "Fault-injection sweep through the reliability substrate", E15FaultSweep},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idLess(exps[i].ID, exps[j].ID) })
 	return exps

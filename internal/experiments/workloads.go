@@ -23,11 +23,13 @@ package experiments
 import (
 	"fmt"
 
+	"overlaymatch/internal/faults"
 	"overlaymatch/internal/gen"
 	"overlaymatch/internal/graph"
 	mreg "overlaymatch/internal/metrics"
 	"overlaymatch/internal/pref"
 	"overlaymatch/internal/rng"
+	"overlaymatch/internal/simnet"
 )
 
 // Config parameterizes a run of the suite.
@@ -46,6 +48,28 @@ type Config struct {
 	// instruments into. Purely additive: the tables are computed from
 	// the per-run Stats views and are bit-identical with or without it.
 	Metrics *mreg.Registry
+	// Faults, when non-nil, is the link-level adversary threaded into
+	// the message-level experiments (E2, E5, E6 and E15's custom row)
+	// as a simnet.LinkPolicy. The zero spec constructs an injector
+	// that never fires and leaves every table byte-identical to a nil
+	// Faults — the hook's no-op guarantee. Non-delivery-preserving
+	// specs (drops, corruption) make the bare-LID experiments fail
+	// honestly; E15 is the experiment designed to run them, through
+	// the reliable substrate.
+	Faults *faults.Spec
+	// FaultsSeed salts the per-run injection streams so the adversary
+	// varies independently of the workload seed.
+	FaultsSeed uint64
+}
+
+// policy returns the fault-injection policy for one run (nil when no
+// adversary is configured). salt decorrelates the injection streams of
+// different runs within one experiment.
+func (c Config) policy(salt uint64) simnet.LinkPolicy {
+	if c.Faults == nil {
+		return nil
+	}
+	return faults.NewInjector(*c.Faults, c.FaultsSeed^(salt*0x9e3779b97f4a7c15+0x7f4a7c15))
 }
 
 func (c Config) pick(quick, full int) int {

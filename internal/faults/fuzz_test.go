@@ -1,0 +1,72 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFaultSpecParse checks the spec grammar's core contract: anything
+// Parse accepts must render to a canonical string that re-parses to
+// the same canonical string (Parse ∘ String is the identity on parsed
+// specs), must validate, and String must never panic.
+func FuzzFaultSpecParse(f *testing.F) {
+	f.Add("")
+	f.Add("off")
+	f.Add("drop=0.1")
+	f.Add("drop=0.1,dup=0.05,corrupt=0.02,delay=0.2,delayscale=8")
+	f.Add("partition=20:60:0-9")
+	f.Add("partition=20:inf:0-9,crash=30:50:5")
+	f.Add("crash=0:inf:0")
+	f.Add("drop=1")
+	f.Add("drop=NaN")
+	f.Add("delayscale=1e300")
+	f.Add("partition=1:2:3-")
+	f.Add("crash=:::")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Parse(in)
+		if err != nil {
+			return // rejected input is fine; not panicking is the point
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted an invalid spec: %v", in, verr)
+		}
+		canon := s.String()
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", canon, in, err)
+		}
+		if s2.String() != canon {
+			t.Fatalf("canonical form unstable: %q -> %q", canon, s2.String())
+		}
+	})
+}
+
+// FuzzReplayFile checks the strict loader: arbitrary bytes must never
+// panic — they either load as a fully valid replay file or return an
+// error. Anything that loads must survive Validate and re-Save.
+func FuzzReplayFile(f *testing.F) {
+	f.Add([]byte(`{"version":1,"workload":{"topology":"gnp","n":10,"b":1,"metric":"random","seed":3},"seed":7,"spec":"dup=0.3","events":[{"seq":4,"kind":"dup","copies":1}]}`))
+	f.Add([]byte(`{"version":1,"workload":{"topology":"ring","n":5,"b":1,"metric":"random"},"spec":"off","events":[]}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"version":1,"workload":{"topology":"gnp","n":-1,"b":1,"metric":"random"},"spec":"off","events":[]}`))
+	f.Add([]byte(`{"version":1,"workload":{"topology":"gnp","n":10,"b":1,"metric":"random"},"spec":"off","events":[{"seq":0,"kind":"delay","delay":1e308}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rf, err := LoadReplay(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := rf.Validate(); verr != nil {
+			t.Fatalf("LoadReplay accepted a file Validate rejects: %v", verr)
+		}
+		var buf bytes.Buffer
+		if serr := rf.Save(&buf); serr != nil {
+			t.Fatalf("loaded file does not re-save: %v", serr)
+		}
+		if _, rerr := LoadReplay(bytes.NewReader(buf.Bytes())); rerr != nil {
+			t.Fatalf("re-saved file does not re-load: %v", rerr)
+		}
+	})
+}

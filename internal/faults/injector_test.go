@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"overlaymatch/internal/rng"
+	"overlaymatch/internal/simnet"
+)
+
+type probe struct{}
+
+func (probe) Kind() string { return "PROBE" }
+
+// drive feeds the injector n synthetic sends at the given time and
+// returns every verdict.
+func drive(in *Injector, n int, now float64) []simnet.LinkVerdict {
+	out := make([]simnet.LinkVerdict, n)
+	for i := range out {
+		out[i] = in.Verdict(now, i%7, (i+1)%7, probe{})
+	}
+	return out
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	spec := Spec{Drop: 0.2, Dup: 0.1, Corrupt: 0.1, Delay: 0.3, DelayScale: 4}
+	a := NewInjector(spec, 42)
+	b := NewInjector(spec, 42)
+	va, vb := drive(a, 500, 0), drive(b, 500, 0)
+	if !reflect.DeepEqual(va, vb) {
+		t.Fatal("same (spec, seed) produced different verdicts")
+	}
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatal("same (spec, seed) produced different event logs")
+	}
+	if len(a.Events()) == 0 {
+		t.Fatal("500 sends at these rates injected nothing")
+	}
+	c := NewInjector(spec, 43)
+	if reflect.DeepEqual(drive(c, 500, 0), va) {
+		t.Fatal("different seeds produced identical verdicts")
+	}
+}
+
+func TestInjectorReplayReproducesRecording(t *testing.T) {
+	spec := Spec{Drop: 0.15, Dup: 0.1, Corrupt: 0.05, Delay: 0.2}
+	rec := NewInjector(spec, 7)
+	want := drive(rec, 300, 0)
+	// Windows are stripped for replay of the probabilistic part alone.
+	rep := NewReplayInjector(spec, rec.Events())
+	got := drive(rep, 300, 0)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("replaying the recorded events did not reproduce the verdicts")
+	}
+	if rep.Sends() != rec.Sends() {
+		t.Fatalf("sends diverged: %d vs %d", rep.Sends(), rec.Sends())
+	}
+}
+
+func TestInjectorZeroSpecInjectsNothing(t *testing.T) {
+	in := NewInjector(Spec{}, 1)
+	for _, v := range drive(in, 200, 5) {
+		if v != (simnet.LinkVerdict{}) {
+			t.Fatalf("zero spec produced verdict %+v", v)
+		}
+	}
+	if len(in.Events()) != 0 {
+		t.Fatalf("zero spec logged %d events", len(in.Events()))
+	}
+}
+
+func TestInjectorPartitionCut(t *testing.T) {
+	spec := Spec{Partitions: []Partition{{Start: 10, End: 20, Lo: 0, Hi: 2}}}
+	in := NewInjector(spec, 1)
+	check := func(now float64, from, to int, wantDrop bool) {
+		t.Helper()
+		v := in.Verdict(now, from, to, probe{})
+		if v.Drop != wantDrop {
+			t.Fatalf("t=%v %d->%d: drop=%v, want %v", now, from, to, v.Drop, wantDrop)
+		}
+	}
+	check(5, 0, 5, false)  // before the window
+	check(10, 0, 5, true)  // crossing, window open (start inclusive)
+	check(15, 5, 0, true)  // crossing, reverse direction
+	check(15, 0, 2, false) // both inside the partition
+	check(15, 5, 6, false) // both outside
+	check(20, 0, 5, false) // end exclusive: healed
+	if len(in.Events()) != 0 {
+		t.Fatal("window cuts must not be logged as events (they replay from the spec)")
+	}
+}
+
+func TestInjectorCrashCut(t *testing.T) {
+	spec := Spec{Crashes: []Crash{{Start: 10, End: NoHeal, Node: 3}}}
+	in := NewInjector(spec, 1)
+	if v := in.Verdict(9, 3, 0, probe{}); v.Drop {
+		t.Fatal("crash cut before its window")
+	}
+	if v := in.Verdict(11, 3, 0, probe{}); !v.Drop {
+		t.Fatal("messages from a crashed node must drop")
+	}
+	if v := in.Verdict(1e9, 0, 3, probe{}); !v.Drop {
+		t.Fatal("NoHeal crash healed")
+	}
+	if v := in.Verdict(1e9, 0, 1, probe{}); v.Drop {
+		t.Fatal("crash cut an unrelated link")
+	}
+}
+
+func TestParetoCapped(t *testing.T) {
+	src := rng.New(99)
+	for i := 0; i < 10000; i++ {
+		d := pareto(src, 2)
+		if !(d >= 0) || d > 2e4 {
+			t.Fatalf("pareto draw %v outside [0, 2e4]", d)
+		}
+	}
+}
+
+func TestValidEvent(t *testing.T) {
+	good := []Event{
+		{Seq: 0, Kind: KindDrop},
+		{Seq: 5, Kind: KindDup, Copies: 1},
+		{Seq: 5, Kind: KindDup, Copies: 64},
+		{Seq: 1, Kind: KindCorrupt},
+		{Seq: 9, Kind: KindDelay, Delay: 0.5},
+	}
+	for _, e := range good {
+		if !validEvent(e) {
+			t.Errorf("validEvent(%+v) = false, want true", e)
+		}
+	}
+	bad := []Event{
+		{Seq: -1, Kind: KindDrop},
+		{Seq: 0, Kind: "explode"},
+		{Seq: 0, Kind: KindDrop, Copies: 1},
+		{Seq: 0, Kind: KindDup},
+		{Seq: 0, Kind: KindDup, Copies: 65},
+		{Seq: 0, Kind: KindDelay},
+		{Seq: 0, Kind: KindDelay, Delay: -1},
+	}
+	for _, e := range bad {
+		if validEvent(e) {
+			t.Errorf("validEvent(%+v) = true, want false", e)
+		}
+	}
+}

@@ -45,6 +45,11 @@ type GoOptions struct {
 	// Metrics, if non-nil, receives a merge of the run's instrument
 	// registry when the run finishes.
 	Metrics *metrics.Registry
+	// Policy, if non-nil, is the fault-injection link policy (see
+	// simnet.LinkPolicy); verdicts are serialized by the runner. Only
+	// delivery-preserving faults keep bare LID correct — wrap the
+	// handlers in package reliable for drop/corrupt faults.
+	Policy simnet.LinkPolicy
 }
 
 // RunGoroutines executes LID with one real goroutine per peer. The
@@ -65,6 +70,9 @@ func RunGoroutinesOpts(s *pref.System, tbl *satisfaction.Table, opts GoOptions) 
 	}
 	if opts.Metrics != nil {
 		runner.SetMetricsSink(opts.Metrics)
+	}
+	if opts.Policy != nil {
+		runner.SetPolicy(opts.Policy)
 	}
 	stats, err := runner.Run(Handlers(nodes))
 	if err != nil {

@@ -75,6 +75,7 @@ type Endpoint struct {
 	acks        int // ACK frames sent
 	retransmits int
 	duplicates  int
+	corrupted   int // frames discarded as corrupted (failed checksum)
 }
 
 // NewEndpoint wraps inner. rto is the retransmission timeout in
@@ -112,6 +113,12 @@ func (e *Endpoint) Duplicates() int { return e.duplicates }
 
 // Abandoned returns the number of frames dropped after maxRetries.
 func (e *Endpoint) Abandoned() int { return e.abandoned }
+
+// Corrupted returns the number of frames discarded with a failed
+// checksum (simnet.Corrupted deliveries from a fault-injecting link
+// policy). A corrupted DATA frame is recovered by the sender's
+// retransmission; a corrupted ACK by the duplicate-ack rule.
+func (e *Endpoint) Corrupted() int { return e.corrupted }
 
 // relCtx is the context handed to the inner protocol: sends become
 // sequenced frames, Halt is deferred until all frames are acked.
@@ -202,6 +209,11 @@ func (e *Endpoint) HandleMessage(ctx simnet.Context, from int, msg simnet.Messag
 		delete(e.unacked, frameKey{to: from, seq: m.Seq})
 		delete(e.attempts, frameKey{to: from, seq: m.Seq})
 		e.maybeHalt(ctx)
+	case simnet.Corrupted:
+		// Failed checksum: discard the whole frame without looking
+		// inside. If it was DATA the retransmission timer re-sends it;
+		// if it was an ACK the duplicate DATA re-triggers one.
+		e.corrupted++
 	default:
 		// Inner-protocol timer token or other self-delivery.
 		e.inner.HandleMessage(&relCtx{e: e, ctx: ctx}, from, msg)
@@ -255,6 +267,15 @@ func TotalAbandoned(endpoints []*Endpoint) int {
 	return total
 }
 
+// TotalCorrupted sums checksum-discarded frames across endpoints.
+func TotalCorrupted(endpoints []*Endpoint) int {
+	total := 0
+	for _, e := range endpoints {
+		total += e.corrupted
+	}
+	return total
+}
+
 // PublishMetrics adds the transport totals of one finished run to reg.
 // The per-endpoint int counters stay the source of truth for the
 // experiments (single-threaded event runtime, no synchronization
@@ -274,6 +295,8 @@ func PublishMetrics(reg *metrics.Registry, endpoints []*Endpoint) {
 		Add(int64(TotalDuplicates(endpoints)))
 	reg.Counter("reliable_abandoned_total", "frames given up after maxRetries").
 		Add(int64(TotalAbandoned(endpoints)))
+	reg.Counter("reliable_corrupted_total", "frames discarded with a failed checksum").
+		Add(int64(TotalCorrupted(endpoints)))
 }
 
 func sum(endpoints []*Endpoint, f func(*Endpoint) int) int {

@@ -31,6 +31,9 @@ type GoRunner struct {
 	ins   *instruments
 	sink  *metrics.Registry
 	trace func(TraceEntry)
+
+	polMu  sync.Mutex // serializes policy verdicts (policies are single-threaded)
+	policy LinkPolicy
 }
 
 // NewGoRunner returns a GoRunner for n nodes. timeout bounds Run's
@@ -99,6 +102,15 @@ func (r *GoRunner) SetTrace(fn func(TraceEntry)) { r.trace = fn }
 // Run.
 func (r *GoRunner) SetMetricsSink(sink *metrics.Registry) { r.sink = sink }
 
+// SetPolicy installs a fault-injection link policy (see LinkPolicy).
+// The runner serializes Verdict calls under an internal mutex, so the
+// same deterministic policy implementations work on both runtimes —
+// but the GoRunner has no global clock, so verdicts see now == 0 and
+// the ORDER of verdicts follows the Go scheduler: probabilistic faults
+// apply, time-windowed ones do not, and exact replay is only defined
+// on the event runtime. Call before Run.
+func (r *GoRunner) SetPolicy(p LinkPolicy) { r.policy = p }
+
 // Metrics returns the run's private instrument registry.
 func (r *GoRunner) Metrics() *metrics.Registry { return r.ins.reg }
 
@@ -125,15 +137,44 @@ func (c *goCtx) Send(to int, msg Message) {
 	if to < 0 || to >= r.n {
 		panic(fmt.Sprintf("simnet: send to %d outside [0,%d)", to, r.n))
 	}
-	r.mu.Lock()
-	r.outstanding++
-	r.mu.Unlock()
 	// The message counters are atomic registry instruments; they no
 	// longer need r.mu.
 	r.ins.sentByNode.Inc(c.id)
 	r.ins.sent.With(KindOf(msg)).Inc()
-	depth := r.boxes[to].push(delivery{from: c.id, msg: msg})
-	r.ins.queueDepthMax.SetMax(float64(depth))
+	var v LinkVerdict
+	if r.policy != nil {
+		r.polMu.Lock()
+		v = r.policy.Verdict(0, c.id, to, msg)
+		r.polMu.Unlock()
+		r.ins.countVerdict(v)
+		if v.Drop {
+			r.ins.dropped.Inc()
+			return
+		}
+		if v.Corrupt {
+			msg = Corrupted{Original: msg}
+		}
+	}
+	for i := 0; i < 1+v.Copies; i++ {
+		r.mu.Lock()
+		r.outstanding++
+		r.mu.Unlock()
+		if v.ExtraDelay > 0 {
+			// A delayed copy rides a wall-clock timer like SetTimer;
+			// the outstanding count above keeps the run alive while it
+			// is in flight.
+			from := c.id
+			payload := msg
+			d := time.Duration(v.ExtraDelay * float64(r.timeUnit))
+			time.AfterFunc(d, func() {
+				depth := r.boxes[to].push(delivery{from: from, msg: payload})
+				r.ins.queueDepthMax.SetMax(float64(depth))
+			})
+			continue
+		}
+		depth := r.boxes[to].push(delivery{from: c.id, msg: msg})
+		r.ins.queueDepthMax.SetMax(float64(depth))
+	}
 }
 
 // done reports (under r.mu) whether the run has globally terminated.

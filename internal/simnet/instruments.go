@@ -22,6 +22,7 @@ type instruments struct {
 	finalTime      *metrics.Gauge
 	queueDepthMax  *metrics.Gauge
 	sendLatency    *metrics.Histogram
+	faults         *metrics.Family
 }
 
 func newInstruments(n int) *instruments {
@@ -37,6 +38,25 @@ func newInstruments(n int) *instruments {
 		finalTime:      reg.Gauge("simnet_final_time", "virtual time of the last delivery (event runtime)"),
 		queueDepthMax:  reg.Gauge("simnet_queue_depth_max", "high-water mark of the event queue / mailbox depth"),
 		sendLatency:    reg.Histogram("simnet_send_latency", "per-message link latency in virtual time units (event runtime)", nil),
+		faults:         reg.Family("simnet_fault_injections_total", "fault injections applied by the link policy", "kind"),
+	}
+}
+
+// countVerdict records one applied link-policy verdict by kind; a zero
+// verdict records nothing.
+func (ins *instruments) countVerdict(v LinkVerdict) {
+	if v.Drop {
+		ins.faults.With("drop").Inc()
+		return
+	}
+	if v.Copies > 0 {
+		ins.faults.With("dup").Inc()
+	}
+	if v.ExtraDelay > 0 {
+		ins.faults.With("delay").Inc()
+	}
+	if v.Corrupt {
+		ins.faults.With("corrupt").Inc()
 	}
 }
 

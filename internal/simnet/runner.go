@@ -59,6 +59,12 @@ type Options struct {
 	// paper's model assumes reliable links — package reliable restores
 	// that assumption on top of a lossy Drop.
 	Drop DropFunc
+	// Policy, if non-nil, is the deterministic fault-injection hook:
+	// every network send is submitted to it and the verdict
+	// (drop/duplicate/extra-delay/corrupt) is applied on top of the
+	// Latency and Drop models. Package faults provides the standard
+	// implementation. Timers bypass the policy.
+	Policy LinkPolicy
 	// Trace, if non-nil, receives every delivery in order.
 	Trace func(TraceEntry)
 	// MaxDeliveries aborts a run that exceeds this many deliveries
@@ -195,13 +201,35 @@ func (c *runnerCtx) Send(to int, msg Message) {
 		r.ins.dropped.Inc()
 		return
 	}
-	lat := r.opts.Latency(c.id, to, r.src)
-	if lat <= 0 {
-		panic("simnet: non-positive latency")
+	copies := 1
+	extra := 0.0
+	if r.opts.Policy != nil {
+		v := r.opts.Policy.Verdict(c.time, c.id, to, msg)
+		r.ins.countVerdict(v)
+		if v.Drop {
+			r.ins.dropped.Inc()
+			return
+		}
+		if v.Corrupt {
+			msg = Corrupted{Original: msg}
+		}
+		if v.Copies > 0 {
+			copies += v.Copies
+		}
+		if v.ExtraDelay < 0 {
+			panic("simnet: negative policy delay")
+		}
+		extra = v.ExtraDelay
 	}
-	r.ins.sendLatency.Observe(lat)
-	r.seq++
-	r.queue.push(event{time: c.time + lat, seq: r.seq, from: c.id, to: to, msg: msg})
+	for i := 0; i < copies; i++ {
+		lat := r.opts.Latency(c.id, to, r.src) + extra
+		if lat <= 0 {
+			panic("simnet: non-positive latency")
+		}
+		r.ins.sendLatency.Observe(lat)
+		r.seq++
+		r.queue.push(event{time: c.time + lat, seq: r.seq, from: c.id, to: to, msg: msg})
+	}
 	r.ins.queueDepthMax.SetMax(float64(len(r.queue)))
 }
 
