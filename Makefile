@@ -16,7 +16,7 @@ check: build vet test race-core fuzz-smoke
 # Vet first so a broken build fails fast instead of surfacing as a
 # confusing mid-run race failure.
 race-core: vet
-	$(GO) test -race -short ./internal/metrics/... ./internal/simnet/... ./internal/faults/...
+	$(GO) test -race -short ./internal/metrics/... ./internal/simnet/... ./internal/faults/... ./internal/detector/... ./internal/reliable/...
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,7 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -fuzz FuzzFaultSpecParse -fuzztime 30s ./internal/faults
 	$(GO) test -fuzz FuzzReplayFile -fuzztime 30s ./internal/faults
+	$(GO) test -fuzz FuzzDetectorConfigParse -fuzztime 30s ./internal/detector
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

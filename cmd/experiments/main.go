@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"overlaymatch/internal/detector"
 	"overlaymatch/internal/experiments"
 	"overlaymatch/internal/faults"
 	"overlaymatch/internal/metrics"
@@ -41,8 +42,20 @@ func main() {
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		faultsF = flag.String("faults", "off", "fault-injection spec threaded into the message-level experiments (see internal/faults)")
 		faultSd = flag.Uint64("faults-seed", 0, "seed of the injection streams (0 = derive from -seed)")
+		rto     = flag.Float64("rto", 30, "retransmission timeout of the transport-backed experiments (E11, E15), virtual time units")
+		adapt   = flag.Bool("adaptive-rto", false, "RFC-6298 adaptive retransmission timeout in the transport-backed experiments")
+		detStr  = flag.String("detector", "", "failure-detector spec for the self-healing experiment (E16): on | hb=5,phi=8,... (empty = default)")
+		hbInt   = flag.Float64("hb-interval", 0, "override E16's heartbeat interval (virtual time units)")
+		phiThr  = flag.Float64("phi-threshold", 0, "override E16's phi suspicion threshold")
 	)
 	flag.Parse()
+
+	if *rto <= 0 {
+		fail("-rto must be positive, got %v (the retransmission timer would never fire)", *rto)
+	}
+	if *hbInt < 0 || *phiThr < 0 {
+		fail("-hb-interval and -phi-threshold must be positive")
+	}
 
 	switch *metFmt {
 	case "text", "json", "prom":
@@ -90,7 +103,29 @@ func main() {
 		w = f
 	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers,
+		RTO: *rto, AdaptiveRTO: *adapt}
+	if *detStr != "" || *hbInt > 0 || *phiThr > 0 {
+		det, err := detector.Parse(*detStr)
+		if err != nil {
+			fail("%v", err)
+		}
+		if !det.Enabled() && (*hbInt > 0 || *phiThr > 0) {
+			det = detector.Default()
+		}
+		if *hbInt > 0 {
+			det.Interval = *hbInt
+		}
+		if *phiThr > 0 {
+			det.Phi = *phiThr
+		}
+		if det.Enabled() {
+			if err := det.Validate(); err != nil {
+				fail("%v", err)
+			}
+		}
+		cfg.Detector = &det
+	}
 	if *faultsF != "" && *faultsF != "off" {
 		spec, err := faults.Parse(*faultsF)
 		if err != nil {

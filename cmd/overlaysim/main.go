@@ -19,6 +19,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"overlaymatch/internal/detector"
 	"overlaymatch/internal/faults"
 	"overlaymatch/internal/gen"
 	"overlaymatch/internal/graph"
@@ -61,6 +62,10 @@ func main() {
 		faultSd  = flag.Uint64("faults-seed", 0, "seed of the injection stream (0 = derive from -seed)")
 		reliab   = flag.Bool("reliable", false, "wrap LID in the ack/retransmit substrate (required for drop/corrupt faults)")
 		rto      = flag.Float64("rto", 30, "retransmission timeout in virtual time units (-reliable)")
+		adaptRTO = flag.Bool("adaptive-rto", false, "RFC-6298 adaptive retransmission timeout with backoff (-reliable)")
+		detStr   = flag.String("detector", "off", "heartbeat failure detector: off | on | hb=5,phi=8,... (see internal/detector)")
+		hbInt    = flag.Float64("hb-interval", 0, "heartbeat interval override in virtual time units (implies -detector on)")
+		phiThr   = flag.Float64("phi-threshold", 0, "phi suspicion threshold override (implies -detector on)")
 		replay   = flag.String("replay", "", "re-execute a frozen replay file (see faults.Explore) and report the verdict")
 		verbose  = flag.Bool("v", false, "print per-peer connections")
 	)
@@ -90,6 +95,34 @@ func main() {
 		}()
 	}
 
+	if *rto <= 0 {
+		fail("-rto must be positive, got %v (the retransmission timer would never fire)", *rto)
+	}
+	if *adaptRTO && !*reliab {
+		fail("-adaptive-rto tunes the retransmission timer and needs -reliable")
+	}
+	if *hbInt < 0 || *phiThr < 0 {
+		fail("-hb-interval and -phi-threshold must be positive")
+	}
+	det, err := detector.Parse(*detStr)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *hbInt > 0 || *phiThr > 0 {
+		if !det.Enabled() {
+			det = detector.Default()
+		}
+		if *hbInt > 0 {
+			det.Interval = *hbInt
+		}
+		if *phiThr > 0 {
+			det.Phi = *phiThr
+		}
+		if err := det.Validate(); err != nil {
+			fail("%v", err)
+		}
+	}
+
 	spec, err := faults.Parse(*faultStr)
 	if err != nil {
 		fail("%v", err)
@@ -97,8 +130,8 @@ func main() {
 	if !spec.PreservesDelivery() && !*reliab {
 		fail("-faults %q loses messages; bare LID needs -reliable to survive it", *faultStr)
 	}
-	if *runtime_ == "centralized" && (!spec.IsZero() || *reliab) {
-		fail("-faults/-reliable require a distributed runtime (event or goroutine)")
+	if *runtime_ == "centralized" && (!spec.IsZero() || *reliab || det.Enabled()) {
+		fail("-faults/-reliable/-detector require a distributed runtime (event or goroutine)")
 	}
 	fseed := *faultSd
 	if fseed == 0 {
@@ -107,7 +140,8 @@ func main() {
 	opts := reportOpts{seed: *seed, runtime: *runtime_, jitter: *jitter,
 		verbose: *verbose, dotPath: *dotOut, tracePath: *traceOut, traceFormat: *traceFmt,
 		showMetrics: *metOut, metricsFormat: *metFmt,
-		faults: spec, faultsSeed: fseed, reliable: *reliab, rto: *rto}
+		faults: spec, faultsSeed: fseed, reliable: *reliab, rto: *rto,
+		adaptiveRTO: *adaptRTO, det: det}
 	switch *traceFmt {
 	case "log", "ndjson":
 	default:
@@ -207,6 +241,8 @@ type reportOpts struct {
 	faultsSeed    uint64
 	reliable      bool
 	rto           float64
+	adaptiveRTO   bool
+	det           detector.Config
 }
 
 // policy returns the run's fault-injection policy (nil when -faults is
@@ -299,12 +335,23 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 		inj = in
 	}
 	var eps []*reliable.Endpoint
+	var mons []*detector.Monitor
+	// wrap stacks the optional layers inside-out: transport below the
+	// failure detector, mirroring dlid.RunSelfHeal.
 	wrap := func(handlers []simnet.Handler) []simnet.Handler {
-		if !opts.reliable {
-			return handlers
+		if opts.reliable {
+			eps = reliable.WrapConfig(handlers, reliable.Config{RTO: opts.rto, Adaptive: opts.adaptiveRTO})
+			handlers = reliable.Handlers(eps)
 		}
-		eps = reliable.Wrap(handlers, opts.rto, 0)
-		return reliable.Handlers(eps)
+		if opts.det.Enabled() {
+			adj := make([][]int, g.NumNodes())
+			for i := range adj {
+				adj[i] = g.Neighbors(i)
+			}
+			mons = detector.Wrap(handlers, adj, opts.det)
+			handlers = detector.Handlers(mons)
+		}
+		return handlers
 	}
 	reportFaults := func(st simnet.Stats) {
 		if inj != nil {
@@ -313,8 +360,18 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 		}
 		if eps != nil {
 			reliable.PublishMetrics(reg, eps)
-			fmt.Printf("  transport: rto %.1f, %d retransmits, %d duplicates suppressed, %d corrupt discarded\n",
-				opts.rto, reliable.TotalRetransmits(eps), reliable.TotalDuplicates(eps), reliable.TotalCorrupted(eps))
+			mode := "static"
+			if opts.adaptiveRTO {
+				mode = "adaptive"
+			}
+			fmt.Printf("  transport: rto %.1f (%s), %d retransmits, %d duplicates suppressed, %d corrupt discarded\n",
+				opts.rto, mode, reliable.TotalRetransmits(eps), reliable.TotalDuplicates(eps), reliable.TotalCorrupted(eps))
+		}
+		if mons != nil {
+			detector.PublishMetrics(reg, mons)
+			fmt.Printf("  detector: %s -> %d suspicions, %d restores (%d HB, %d HB-ACK)\n",
+				opts.det, detector.TotalSuspicions(mons), detector.TotalRestores(mons),
+				st.SentByKind["HB"], st.SentByKind["HB-ACK"])
 		}
 		_ = st
 	}
@@ -324,7 +381,7 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 	switch runtime_ {
 	case "event":
 		var st simnet.Stats
-		if opts.reliable {
+		if opts.reliable || opts.det.Enabled() {
 			nodes := lid.NewNodes(sys, tbl)
 			runner := simnet.NewRunner(g.NumNodes(), simnet.Options{
 				Seed:    seed,
@@ -363,7 +420,7 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 		reportFaults(st)
 	case "goroutine":
 		var st simnet.Stats
-		if opts.reliable {
+		if opts.reliable || opts.det.Enabled() {
 			nodes := lid.NewNodes(sys, tbl)
 			runner := simnet.NewGoRunner(g.NumNodes(), 2*time.Minute)
 			if traceFn != nil {

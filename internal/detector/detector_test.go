@@ -1,0 +1,254 @@
+package detector
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"overlaymatch/internal/gen"
+	"overlaymatch/internal/lid"
+	"overlaymatch/internal/matching"
+	"overlaymatch/internal/metrics"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/rng"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+)
+
+func TestConfigRoundTrip(t *testing.T) {
+	cases := []Config{
+		Default(),
+		{Interval: 5},
+		{Phi: 12.5, Ticks: 200},
+		{Interval: 0.25, Phi: 3, Window: 16, MinSamples: 2, Floor: 1.5, Ticks: 40},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Fatalf("round trip %q: got %+v want %+v", c.String(), got, c)
+		}
+	}
+	for _, s := range []string{"off", ""} {
+		c, err := Parse(s)
+		if err != nil || c.Enabled() {
+			t.Fatalf("Parse(%q) = %+v, %v; want disabled", s, c, err)
+		}
+	}
+	if c, err := Parse("on"); err != nil || c != Default() {
+		t.Fatalf("Parse(on) = %+v, %v; want Default()", c, err)
+	}
+	bad := []string{
+		"hb=0", "hb=-3", "phi=nan", "phi=400", "window=0", "window=99999999",
+		"min=5,window=2", "ticks=x", "hb=5,hb=6", "wat=1", "hb", "hb=5,,phi=8",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Fatalf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestEstimator(t *testing.T) {
+	e := NewEstimator(8, 0.5)
+	if got := e.Phi(10); got != 0 {
+		t.Fatalf("empty estimator Phi = %v, want 0", got)
+	}
+	if !math.IsInf(e.Threshold(8), 1) {
+		t.Fatal("empty estimator must have an infinite threshold")
+	}
+	for i := 0; i < 20; i++ {
+		e.Observe(1)
+	}
+	if e.Count() != 8 {
+		t.Fatalf("window count = %d, want 8", e.Count())
+	}
+	mean, std := e.MeanStd()
+	if mean != 1 || std != 0.5 {
+		t.Fatalf("mean/std = %v/%v, want 1/0.5 (floored)", mean, std)
+	}
+	// Phi must be monotone in elapsed and ~0 near the mean.
+	if e.Phi(1) > 1 {
+		t.Fatalf("Phi(mean) = %v, want small", e.Phi(1))
+	}
+	prev := -1.0
+	for _, x := range []float64{1, 2, 3, 5, 8, 13} {
+		phi := e.Phi(x)
+		if phi < prev {
+			t.Fatalf("Phi not monotone at %v: %v < %v", x, phi, prev)
+		}
+		prev = phi
+	}
+	// Threshold inverts Phi (within bisection tolerance).
+	for _, phi := range []float64{1, 4, 8, 16} {
+		at := e.Threshold(phi)
+		if got := e.Phi(at); math.Abs(got-phi) > 1e-6 {
+			t.Fatalf("Phi(Threshold(%v)) = %v", phi, got)
+		}
+	}
+}
+
+// buildLID constructs a small LID workload: nodes, adjacency, system.
+func buildLID(tb testing.TB, seed uint64, n int) (*pref.System, *satisfaction.Table, []*lid.Node, [][]int) {
+	tb.Helper()
+	src := rng.New(seed)
+	g := gen.GNP(src, n, 0.3)
+	sys, err := pref.Build(g, pref.NewRandomMetric(src.Split()), pref.UniformQuota(2))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tbl := satisfaction.NewTable(sys)
+	nodes := lid.NewNodes(sys, tbl)
+	adj := make([][]int, g.NumNodes())
+	for i := range adj {
+		adj[i] = g.Neighbors(i)
+	}
+	return sys, tbl, nodes, adj
+}
+
+// TestZeroFaultAccuracyPin is the detector accuracy pin: on a clean
+// network the monitor must never suspect anyone, and the monitored run
+// must produce the identical matching to an unmonitored one.
+func TestZeroFaultAccuracyPin(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		sys, tbl, nodes, adj := buildLID(t, seed, 24)
+		mons := Wrap(lid.Handlers(nodes), adj, Default())
+		r := simnet.NewRunner(len(nodes), simnet.Options{
+			Seed:    seed,
+			Latency: simnet.ExponentialLatency(3),
+		})
+		stats, err := r.Run(Handlers(mons))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if s := TotalSuspicions(mons); s != 0 {
+			t.Fatalf("seed %d: %d false suspicions on a fault-free network", seed, s)
+		}
+		if TotalRestores(mons) != 0 {
+			t.Fatalf("seed %d: restores without suspicions", seed)
+		}
+		m, err := lid.BuildMatching(nodes)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !m.Equal(matching.LIC(sys, tbl)) {
+			t.Fatalf("seed %d: monitored LID diverged from LIC", seed)
+		}
+		if stats.SentByKind["HB"] == 0 || stats.SentByKind["HB-ACK"] == 0 {
+			t.Fatalf("seed %d: heartbeats not flowing (%v)", seed, stats.SentByKind)
+		}
+	}
+}
+
+// recorder is a minimal inner handler implementing the suspect upcall.
+type recorder struct {
+	suspects []int
+	restores []int
+}
+
+func (r *recorder) Init(ctx simnet.Context)                                        { ctx.Halt() }
+func (r *recorder) HandleMessage(ctx simnet.Context, from int, msg simnet.Message) {}
+func (r *recorder) HandleSuspect(ctx simnet.Context, peer int)                     { r.suspects = append(r.suspects, peer) }
+func (r *recorder) HandleRestore(ctx simnet.Context, peer int)                     { r.restores = append(r.restores, peer) }
+
+// cutWindow drops every message to or from node during [start, end).
+type cutWindow struct {
+	node       int
+	start, end float64
+}
+
+func (c cutWindow) Verdict(now float64, from, to int, msg simnet.Message) simnet.LinkVerdict {
+	if (from == c.node || to == c.node) && now >= c.start && now < c.end {
+		return simnet.LinkVerdict{Drop: true}
+	}
+	return simnet.LinkVerdict{}
+}
+
+// TestSuspectAndRestore drives a healing crash through a pair of
+// monitors and checks the full verdict cycle: detection within a
+// bounded latency, the suspect upcall, and the restore upcall once the
+// peer is heard again — delivered in order.
+func TestSuspectAndRestore(t *testing.T) {
+	const crashStart, crashEnd = 50.0, 200.0
+	recs := []*recorder{{}, {}}
+	cfg := Config{Interval: 5, Ticks: 80}
+	mons := Wrap([]simnet.Handler{recs[0], recs[1]}, [][]int{{1}, {0}}, cfg)
+	r := simnet.NewRunner(2, simnet.Options{
+		Seed:    3,
+		Latency: simnet.ExponentialLatency(0.5),
+		Policy:  cutWindow{node: 1, start: crashStart, end: crashEnd},
+		Quiesce: true,
+	})
+	if _, err := r.Run(Handlers(mons)); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs[0].suspects) != 1 || recs[0].suspects[0] != 1 {
+		t.Fatalf("node 0 suspects = %v, want [1]", recs[0].suspects)
+	}
+	if len(recs[0].restores) != 1 || recs[0].restores[0] != 1 {
+		t.Fatalf("node 0 restores = %v, want [1]", recs[0].restores)
+	}
+	// Node 1 is cut off too: from its side the whole world went silent.
+	if len(recs[1].suspects) != 1 || len(recs[1].restores) != 1 {
+		t.Fatalf("node 1 verdicts = %v/%v, want one of each", recs[1].suspects, recs[1].restores)
+	}
+	var suspectAt, restoreAt float64 = -1, -1
+	for _, ev := range mons[0].Events {
+		if ev.Restore {
+			restoreAt = ev.Time
+		} else {
+			suspectAt = ev.Time
+		}
+	}
+	if suspectAt < crashStart || suspectAt > crashEnd {
+		t.Fatalf("suspicion at %v outside the crash window [%v,%v)", suspectAt, crashStart, crashEnd)
+	}
+	// Detection latency: the bootstrap threshold is 4 ticks; allow
+	// slack for estimator adaptation and latency jitter.
+	if lat := suspectAt - crashStart; lat > 10*cfg.Interval {
+		t.Fatalf("detection latency %v exceeds 10 intervals", lat)
+	}
+	if restoreAt < crashEnd {
+		t.Fatalf("restore at %v before the window healed at %v", restoreAt, crashEnd)
+	}
+	if mons[0].Suspected(1) || mons[1].Suspected(0) {
+		t.Fatal("still suspected after heal")
+	}
+}
+
+// TestGoRunnerQuiesces pins the goroutine-runtime path: tick timers
+// count as outstanding work, so a bounded tick budget must let the run
+// terminate (no suspicion assertions — wall-clock jitter is real
+// there).
+func TestGoRunnerQuiesces(t *testing.T) {
+	sys, _, nodes, adj := buildLID(t, 5, 12)
+	mons := Wrap(lid.Handlers(nodes), adj, Config{Interval: 3, Ticks: 5})
+	r := simnet.NewGoRunner(sys.Graph().NumNodes(), 30*time.Second)
+	if _, err := r.Run(Handlers(mons)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lid.BuildMatching(nodes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishMetrics(t *testing.T) {
+	_, _, nodes, adj := buildLID(t, 2, 16)
+	mons := Wrap(lid.Handlers(nodes), adj, Config{Interval: 5, Ticks: 10})
+	r := simnet.NewRunner(len(nodes), simnet.Options{Seed: 2})
+	if _, err := r.Run(Handlers(mons)); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	PublishMetrics(reg, mons)
+	PublishMetrics(nil, mons) // nil sink must be a no-op
+	var hb int
+	for _, m := range mons {
+		hb += m.Heartbeats
+	}
+	if got := int(reg.Counter("detector_heartbeats_total", "").Value()); got != hb {
+		t.Fatalf("heartbeat counter %d, monitors say %d", got, hb)
+	}
+}

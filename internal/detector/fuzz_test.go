@@ -1,0 +1,36 @@
+package detector
+
+import "testing"
+
+// FuzzDetectorConfigParse pins the parser's safety (no panics on
+// arbitrary input) and the canonical round trip: any accepted spec
+// re-renders and re-parses to the identical config.
+func FuzzDetectorConfigParse(f *testing.F) {
+	f.Add("off")
+	f.Add("on")
+	f.Add("hb=5,phi=8")
+	f.Add("hb=0.25,phi=3,window=16,min=2,floor=1.5,ticks=40")
+	f.Add("window=64,min=3")
+	f.Add("ticks=200")
+	f.Add("hb=1e3,phi=299")
+	f.Add("hb=5,hb=6")
+	f.Add("wat=1")
+	f.Add(" hb = 5 , phi = 8 ")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted an invalid config: %v", s, verr)
+		}
+		rendered := c.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", rendered, s, err)
+		}
+		if back != c {
+			t.Fatalf("round trip drift: %q -> %+v -> %q -> %+v", s, c, rendered, back)
+		}
+	})
+}

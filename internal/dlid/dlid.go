@@ -73,11 +73,24 @@ const (
 	kProp
 	kAccept
 	kDecline
+	kDrop
 )
 
-// Msg is the maintenance wire message.
+// Msg is the maintenance wire message. Seq is a per-(sender, receiver)
+// monotone counter: Rematch mode discards overtaken messages, turning
+// each pair link into a lossy-FIFO channel. Ver is the pair
+// *incarnation* version (Rematch only): each PROP draws a fresh
+// version from a shared per-pair counter, ACCEPT/DECLINE echo the
+// version of the proposal they answer, and DROP names the incarnation
+// it revokes. Preemption needs both — a revocation racing the
+// messages that formed (or re-form) a connection must be orderable
+// against them, or the two views diverge. Complete mode never revokes,
+// tolerates reordering by idempotence, and leaves both fields zero
+// (keeping its behavior byte-identical).
 type Msg struct {
-	K wireKind
+	K   wireKind
+	Seq uint32
+	Ver uint32
 }
 
 // Kind implements simnet.Kinder.
@@ -95,6 +108,8 @@ func (m Msg) Kind() string {
 		return "ACCEPT"
 	case kDecline:
 		return "DECLINE"
+	case kDrop:
+		return "DROP"
 	}
 	return fmt.Sprintf("dlid(%d)", m.K)
 }
@@ -106,36 +121,90 @@ type neighborState struct {
 	pending   bool // our PROP outstanding
 	declined  bool // declined us in the current epoch
 	waiting   bool // we declined them; retry when a reservation frees
+
+	// Pair incarnation versions (Rematch only; all zero in Complete
+	// mode). ver is the shared per-pair counter: the highest version
+	// seen from the peer or spent on an own proposal. It is never
+	// reset — like outSeq — so versions stay comparable across
+	// leave/rejoin and suspect/restore cycles. pendVer is the version
+	// of the outstanding PROP (valid while pending); connVer the
+	// version under which the current connection formed (valid while
+	// connected).
+	ver     uint32
+	pendVer uint32
+	connVer uint32
 }
+
+// Mode selects the repair discipline.
+type Mode uint8
+
+const (
+	// Complete is the non-preemptive discipline described in the
+	// package comment: existing connections are never dropped for a
+	// better candidate, repair only fills free capacity.
+	Complete Mode = iota
+	// Rematch adds preemption: a full node accepts a better-ranked
+	// proposer by DROPping its worst connection, and keeps proposals
+	// outstanding to every candidate it prefers over its current
+	// partners. Quiescent states are stable b-matchings, which under
+	// the symmetric distinct LID weights coincide with the greedy LIC
+	// on the live subgraph — the convergence target self-healing needs
+	// to reach after a crash window closes. Each preemption replaces
+	// edges by a strictly heavier one (on both sides), so the sorted
+	// weight multiset of the matching grows lexicographically and the
+	// dynamics terminate.
+	Rematch
+)
 
 // Node is the per-peer maintenance state machine.
 type Node struct {
 	id    graph.NodeID
 	quota int
+	mode  Mode
 	order []graph.NodeID // weight list (descending)
+	rank  map[graph.NodeID]int
 	state map[graph.NodeID]*neighborState
 	alive bool
 
+	// Per-pair wire sequencing (see Msg.Seq). Never reset, not even
+	// across leave/rejoin, so receivers' high-water marks stay valid.
+	outSeq  map[graph.NodeID]uint32
+	lastSeq map[graph.NodeID]uint32
+
 	// Counters for the experiments.
-	Proposals int
-	Accepts   int
-	Declines  int
+	Proposals   int
+	Accepts     int
+	Declines    int
+	Preemptions int // connections dropped for a better proposer (Rematch)
+	SynthByes   int // suspected/dead peers handled as synthesized BYEs
+	Resyncs     int // restored peers re-greeted with HELLO
 }
 
 // NewNode builds the maintenance node for id, starting from the given
 // initial connections (typically the LID outcome).
 func NewNode(s *pref.System, tbl *satisfaction.Table, id graph.NodeID, initial []graph.NodeID) *Node {
+	return NewNodeMode(s, tbl, id, initial, Complete)
+}
+
+// NewNodeMode is NewNode with an explicit repair discipline.
+func NewNodeMode(s *pref.System, tbl *satisfaction.Table, id graph.NodeID, initial []graph.NodeID, mode Mode) *Node {
 	order := tbl.SortedNeighbors(s, id)
 	st := make(map[graph.NodeID]*neighborState, len(order))
-	for _, nb := range order {
+	rank := make(map[graph.NodeID]int, len(order))
+	for i, nb := range order {
 		st[nb] = &neighborState{alive: true}
+		rank[nb] = i
 	}
 	n := &Node{
-		id:    id,
-		quota: s.Quota(id),
-		order: order,
-		state: st,
-		alive: true,
+		id:      id,
+		quota:   s.Quota(id),
+		mode:    mode,
+		order:   order,
+		rank:    rank,
+		state:   st,
+		alive:   true,
+		outSeq:  make(map[graph.NodeID]uint32, len(order)),
+		lastSeq: make(map[graph.NodeID]uint32, len(order)),
 	}
 	for _, c := range initial {
 		ns, ok := st[c]
@@ -149,9 +218,14 @@ func NewNode(s *pref.System, tbl *satisfaction.Table, id graph.NodeID, initial [
 
 // NewNodes builds all maintenance nodes seeded with matching m.
 func NewNodes(s *pref.System, tbl *satisfaction.Table, m *matching.Matching) []*Node {
+	return NewNodesMode(s, tbl, m, Complete)
+}
+
+// NewNodesMode builds all maintenance nodes with an explicit mode.
+func NewNodesMode(s *pref.System, tbl *satisfaction.Table, m *matching.Matching, mode Mode) []*Node {
 	nodes := make([]*Node, s.Graph().NumNodes())
 	for id := range nodes {
-		nodes[id] = NewNode(s, tbl, id, m.Connections(id))
+		nodes[id] = NewNodeMode(s, tbl, id, m.Connections(id), mode)
 	}
 	return nodes
 }
@@ -196,6 +270,18 @@ func (n *Node) freeSlots() int {
 	return n.quota - n.connectionsHeld() - n.pendingOut()
 }
 
+// sendMsg stamps the per-pair sequence number and sends an unversioned
+// message (node-level kinds, and everything in Complete mode).
+func (n *Node) sendMsg(ctx simnet.Context, to graph.NodeID, k wireKind) {
+	n.sendMsgVer(ctx, to, k, 0)
+}
+
+// sendMsgVer is sendMsg with an explicit pair incarnation version.
+func (n *Node) sendMsgVer(ctx simnet.Context, to graph.NodeID, k wireKind, ver uint32) {
+	n.outSeq[to]++
+	ctx.Send(to, Msg{K: k, Seq: n.outSeq[to], Ver: ver})
+}
+
 // HandleMessage implements simnet.Handler.
 func (n *Node) HandleMessage(ctx simnet.Context, from int, msg simnet.Message) {
 	switch msg.(type) {
@@ -217,6 +303,19 @@ func (n *Node) HandleMessage(ctx simnet.Context, from int, msg simnet.Message) {
 	if !known {
 		panic(fmt.Sprintf("dlid: node %d received message from non-neighbor %d", n.id, from))
 	}
+	if n.mode == Rematch && m.Seq != 0 {
+		// Enforce lossy-FIFO per pair: a message overtaken by a newer
+		// one from the same sender is superseded state — discard it.
+		if m.Seq <= n.lastSeq[from] {
+			return
+		}
+		n.lastSeq[from] = m.Seq
+		// Merge the pair version counter so fresh proposals always draw
+		// versions above everything either side has used.
+		if m.Ver > ns.ver {
+			ns.ver = m.Ver
+		}
+	}
 	switch m.K {
 	case kBye:
 		n.onBye(ctx, from, ns)
@@ -225,12 +324,65 @@ func (n *Node) HandleMessage(ctx simnet.Context, from int, msg simnet.Message) {
 	case kHelloAck:
 		n.onHelloAck(ctx, from, ns)
 	case kProp:
-		n.onProp(ctx, from, ns)
+		n.onProp(ctx, from, ns, m.Ver)
 	case kAccept:
-		n.onAccept(ctx, from, ns)
+		n.onAccept(ctx, from, ns, m.Ver)
 	case kDecline:
-		n.onDecline(ctx, from, ns)
+		n.onDecline(ctx, from, ns, m.Ver)
+	case kDrop:
+		n.onDrop(ctx, from, ns, m.Ver)
 	}
+}
+
+// HandleSuspect implements simnet.SuspectHandler: a failure detector
+// stacked above the node suspects peer. The verdict is handled as a
+// synthesized BYE — same state transition a voluntary leave causes,
+// including the repair epoch when a connection was freed.
+func (n *Node) HandleSuspect(ctx simnet.Context, peer int) {
+	n.peerDown(ctx, peer)
+}
+
+// HandleLinkDown implements simnet.LinkDownHandler: the transport
+// exhausted its retry budget toward peer. Same synthesized-BYE path as
+// a detector suspicion.
+func (n *Node) HandleLinkDown(ctx simnet.Context, peer int) {
+	n.peerDown(ctx, peer)
+}
+
+func (n *Node) peerDown(ctx simnet.Context, peer graph.NodeID) {
+	if !n.alive {
+		return
+	}
+	ns, ok := n.state[peer]
+	if !ok || !ns.alive {
+		return // not a neighbor, or already mourned
+	}
+	n.SynthByes++
+	n.onBye(ctx, peer, ns)
+}
+
+// HandleRestore implements simnet.SuspectHandler: a previously
+// suspected peer is audibly alive again. The pair state may have
+// diverged arbitrarily during the outage (the peer may still believe
+// an old connection exists, or may have been falsely suspected and
+// never noticed anything), so recovery is a full re-greeting: reset
+// the local view and send HELLO, exactly as if the peer had rejoined.
+// The peer's onHello resets its own view symmetrically and answers
+// HELLO-ACK, after which both sides propose afresh.
+func (n *Node) HandleRestore(ctx simnet.Context, peer int) {
+	if !n.alive {
+		return
+	}
+	ns, ok := n.state[peer]
+	if !ok || ns.alive {
+		return // not a neighbor, or never mourned (no resync needed)
+	}
+	n.Resyncs++
+	ns.connected = false
+	ns.pending = false
+	ns.declined = false
+	ns.waiting = false
+	n.sendMsg(ctx, peer, kHello)
 }
 
 // leave processes a CmdLeave.
@@ -242,7 +394,7 @@ func (n *Node) leave(ctx simnet.Context) {
 	for _, nb := range n.order { // weight-list order: deterministic
 		ns := n.state[nb]
 		if ns.alive {
-			ctx.Send(nb, Msg{K: kBye})
+			n.sendMsg(ctx, nb, kBye)
 		}
 		// Reset the local view; it is rebuilt on rejoin.
 		ns.connected = false
@@ -267,7 +419,7 @@ func (n *Node) join(ctx simnet.Context) {
 		ns.pending = false
 		ns.declined = false
 		ns.waiting = false
-		ctx.Send(nb, Msg{K: kHello})
+		n.sendMsg(ctx, nb, kHello)
 	}
 }
 
@@ -292,14 +444,22 @@ func (n *Node) onBye(ctx simnet.Context, from graph.NodeID, ns *neighborState) {
 	}
 }
 
-// onHello: the neighbor (re)joined.
+// onHello: the neighbor (re)joined, or re-greets after a suspected
+// outage (HandleRestore). The reset may free a connection we still
+// believed in — one-sided suspicion leaves exactly that asymmetry —
+// in which case the regained capacity opens a full repair epoch.
 func (n *Node) onHello(ctx simnet.Context, from graph.NodeID, ns *neighborState) {
+	freed := ns.connected
 	ns.alive = true
 	ns.connected = false
 	ns.pending = false
 	ns.declined = false
 	ns.waiting = false
-	ctx.Send(from, Msg{K: kHelloAck})
+	n.sendMsg(ctx, from, kHelloAck)
+	if freed {
+		n.newEpoch(ctx)
+		return
+	}
 	// A fresh candidate appeared; try to use spare capacity on it.
 	n.proposeMore(ctx)
 }
@@ -317,28 +477,75 @@ func (n *Node) onHelloAck(ctx simnet.Context, from graph.NodeID, ns *neighborSta
 // that every connection is confirmed by an explicit ACCEPT in at
 // least one direction, and ACCEPTs for already-connected pairs are
 // idempotent.
-func (n *Node) onProp(ctx simnet.Context, from graph.NodeID, ns *neighborState) {
+func (n *Node) onProp(ctx simnet.Context, from graph.NodeID, ns *neighborState, p uint32) {
 	ns.alive = true
 	if ns.connected {
-		// Duplicate/stale proposal for an existing connection; confirm.
-		ctx.Send(from, Msg{K: kAccept})
+		if n.mode == Rematch && p < ns.connVer {
+			// The proposal predates our current connection incarnation
+			// (it was resolved at the sender by the crossing that formed
+			// it); answering would revive a dead conversation.
+			return
+		}
+		// Duplicate/stale proposal for an existing connection — or, with
+		// p > connVer, a fresh proposal from a peer that no longer
+		// believes in the incarnation we hold (its DROP is in flight and
+		// will arrive overtaken). Confirm under the newest version.
+		if p > ns.connVer {
+			ns.connVer = p
+		}
+		n.sendMsgVer(ctx, from, kAccept, p)
 		return
 	}
 	if ns.pending {
 		// Crossing proposals: accept, consuming the slot we reserved
-		// for our own proposal to the same peer. Whatever answer our
-		// own proposal gets (their symmetric accept, or a stale
-		// decline) is idempotent against the connected state.
+		// for our own proposal to the same peer. Both sides compute the
+		// same incarnation, max(ours, theirs), regardless of delivery
+		// order. Whatever answer our own proposal gets (their symmetric
+		// accept, or a stale decline) is idempotent against the
+		// connected state.
 		ns.pending = false
 		ns.connected = true
+		ns.connVer = ns.pendVer
+		if p > ns.connVer {
+			ns.connVer = p
+		}
 		n.Accepts++
-		ctx.Send(from, Msg{K: kAccept})
+		n.sendMsgVer(ctx, from, kAccept, p)
+		if n.mode == Rematch {
+			n.enforceQuota(ctx)
+			n.proposeMore(ctx)
+		}
+		return
+	}
+	if n.mode == Rematch {
+		// Preemptive discipline: a held slot is never safe from a
+		// better proposer. Reservations (pendingOut) are ignored here —
+		// a crossing accept can transiently push past quota, which
+		// enforceQuota repairs by dropping the worst connection.
+		if n.connectionsHeld() < n.quota {
+			ns.connected = true
+			ns.connVer = p
+			n.Accepts++
+			n.sendMsgVer(ctx, from, kAccept, p)
+			return
+		}
+		if worst, ok := n.worstConnected(); ok && n.rank[from] < n.rank[worst] {
+			n.dropConnection(ctx, worst)
+			ns.connected = true
+			ns.connVer = p
+			n.Accepts++
+			n.sendMsgVer(ctx, from, kAccept, p)
+			return
+		}
+		n.Declines++
+		ns.waiting = true
+		n.sendMsgVer(ctx, from, kDecline, p)
 		return
 	}
 	if n.quota-n.connectionsHeld()-n.pendingOut() > 0 {
 		ns.connected = true
 		n.Accepts++
-		ctx.Send(from, Msg{K: kAccept})
+		n.sendMsgVer(ctx, from, kAccept, p)
 		return
 	}
 	n.Declines++
@@ -347,26 +554,91 @@ func (n *Node) onProp(ctx simnet.Context, from graph.NodeID, ns *neighborState) 
 	// mutually-declined peers can both end up free — a maximality
 	// hole).
 	ns.waiting = true
-	ctx.Send(from, Msg{K: kDecline})
+	n.sendMsgVer(ctx, from, kDecline, p)
 }
 
 // onAccept: our proposal succeeded.
-func (n *Node) onAccept(ctx simnet.Context, from graph.NodeID, ns *neighborState) {
+func (n *Node) onAccept(ctx simnet.Context, from graph.NodeID, ns *neighborState, v uint32) {
 	if ns.connected {
+		if v > ns.connVer {
+			ns.connVer = v // late confirmation of a newer incarnation
+		}
 		return // already established by a crossing accept
 	}
-	if !ns.pending {
-		// Stale ACCEPT (e.g. confirmation of an old state); ignore.
+	if ns.pending {
+		if v < ns.pendVer {
+			// Answers a proposal that was already resolved locally; the
+			// live proposal's own answer (or our in-flight PROP, which
+			// the peer will confirm under the newer version) is still
+			// coming — nothing to do yet.
+			return
+		}
+		ns.pending = false
+		ns.connected = true
+		ns.connVer = v
+		if n.mode == Rematch {
+			// Crossing accepts can overfill the quota; shed the worst.
+			n.enforceQuota(ctx)
+			// The resolved reservation (and any shed connection) changes
+			// the rank-budget walk: candidates it was hiding — a blocking
+			// edge in waiting — must be proposed to now.
+			n.proposeMore(ctx)
+		}
 		return
 	}
-	ns.pending = false
-	ns.connected = true
+	if n.mode == Rematch {
+		// An ACCEPT for an incarnation we have no context for: our
+		// pending state was resolved by a concurrent DROP or reset, so
+		// the sender now believes in a connection we do not. Ignoring it
+		// (the Complete-mode rule) would freeze that asymmetry — revoke
+		// exactly that incarnation instead. If the peer has since moved
+		// to a newer one, the version makes our revocation a no-op.
+		n.sendMsgVer(ctx, from, kDrop, v)
+	}
+	// Stale ACCEPT (e.g. confirmation of an old state); ignore.
+}
+
+// onDrop: the neighbor preempted our connection for a better
+// proposer (Rematch mode). Losing the slot frees capacity, so a new
+// epoch opens — but the dropper just proved it is full with peers it
+// prefers over us, so it is marked declined for this epoch to avoid a
+// pointless immediate re-proposal.
+func (n *Node) onDrop(ctx simnet.Context, from graph.NodeID, ns *neighborState, v uint32) {
+	if ns.pending {
+		if v < ns.pendVer {
+			// Revokes an incarnation older than our live proposal (a
+			// crossing DROP of the connection we already tore down
+			// ourselves). The peer had not seen our PROP when it sent
+			// this, so the proposal's real answer is still in flight.
+			return
+		}
+		// The peer accepted our proposal (forming incarnation >= pendVer)
+		// and revoked it before the ACCEPT arrived; the ACCEPT was
+		// overtaken and discarded. Net effect of the accept-then-revoke
+		// pair is a decline.
+		ns.pending = false
+		ns.declined = true
+		n.proposeMore(ctx)
+		return
+	}
+	if !ns.connected {
+		return // stale (e.g. we already processed its BYE)
+	}
+	if v < ns.connVer {
+		return // revokes an incarnation we have since replaced
+	}
+	ns.connected = false
+	for _, nb := range n.order {
+		n.state[nb].declined = false
+	}
+	ns.declined = true
+	n.proposeMore(ctx)
 }
 
 // onDecline: advance to the next candidate.
-func (n *Node) onDecline(ctx simnet.Context, from graph.NodeID, ns *neighborState) {
-	if !ns.pending {
-		return // stale
+func (n *Node) onDecline(ctx simnet.Context, from graph.NodeID, ns *neighborState, v uint32) {
+	if !ns.pending || v != ns.pendVer {
+		return // stale, or answers an older proposal than the live one
 	}
 	ns.pending = false
 	ns.declined = true
@@ -383,8 +655,16 @@ func (n *Node) newEpoch(ctx simnet.Context) {
 
 // proposeMore sends one PROP per free slot to the best eligible
 // candidates (alive, not connected, no proposal outstanding, not
-// declined this epoch), in weight order.
+// declined this epoch), in weight order. In Rematch mode the budget
+// is rank-based instead: the node keeps a proposal outstanding to
+// every candidate it prefers over the partners filling its quota, so
+// a blocking edge (both ends prefer each other over someone they
+// hold) is always attacked from at least one side.
 func (n *Node) proposeMore(ctx simnet.Context) {
+	if n.mode == Rematch {
+		n.proposeRematch(ctx)
+		return
+	}
 	free := n.freeSlots()
 	if free <= 0 {
 		return
@@ -406,8 +686,72 @@ func (n *Node) proposeMore(ctx simnet.Context) {
 		ns.pending = true
 		ns.waiting = false
 		n.Proposals++
-		ctx.Send(nb, Msg{K: kProp})
+		n.sendMsg(ctx, nb, kProp)
 		free--
+	}
+}
+
+// proposeRematch walks the weight list spending a budget of quota
+// slots: held connections and outstanding proposals consume budget in
+// rank order, and every better-ranked alive candidate not yet tried
+// this epoch gets a proposal. Unlike the Complete rule this proposes
+// even when the quota is full — acceptance there preempts the worst.
+func (n *Node) proposeRematch(ctx simnet.Context) {
+	budget := n.quota
+	for _, nb := range n.order {
+		if budget <= 0 {
+			return
+		}
+		ns := n.state[nb]
+		if ns.connected || ns.pending {
+			budget--
+			continue
+		}
+		if !ns.alive {
+			continue
+		}
+		if ns.declined && !ns.waiting {
+			continue
+		}
+		ns.pending = true
+		ns.waiting = false
+		ns.ver++
+		ns.pendVer = ns.ver
+		n.Proposals++
+		n.sendMsgVer(ctx, nb, kProp, ns.pendVer)
+		budget--
+	}
+}
+
+// worstConnected returns the lowest-ranked current connection.
+func (n *Node) worstConnected() (graph.NodeID, bool) {
+	for i := len(n.order) - 1; i >= 0; i-- {
+		if n.state[n.order[i]].connected {
+			return n.order[i], true
+		}
+	}
+	return 0, false
+}
+
+// dropConnection preempts the connection to nb, notifying it. The DROP
+// names the revoked incarnation so a crossing re-formation under a
+// newer version is immune to it.
+func (n *Node) dropConnection(ctx simnet.Context, nb graph.NodeID) {
+	ns := n.state[nb]
+	ns.connected = false
+	n.Preemptions++
+	n.sendMsgVer(ctx, nb, kDrop, ns.connVer)
+}
+
+// enforceQuota sheds worst connections until the quota holds again
+// (crossing accepts in Rematch mode can transiently overfill it).
+func (n *Node) enforceQuota(ctx simnet.Context) {
+	for n.connectionsHeld() > n.quota {
+		worst, ok := n.worstConnected()
+		if !ok {
+			return
+		}
+		n.dropConnection(ctx, worst)
 	}
 }
 

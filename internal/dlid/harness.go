@@ -74,10 +74,13 @@ type Result struct {
 	Stats simnet.Stats
 	// Live is the final matching among alive peers.
 	Live *matching.Matching
-	// Proposals/Accepts/Declines aggregate the protocol counters.
-	Proposals int
-	Accepts   int
-	Declines  int
+	// Aggregated protocol counters.
+	Proposals   int
+	Accepts     int
+	Declines    int
+	Preemptions int
+	SynthByes   int
+	Resyncs     int
 }
 
 // Run seeds the maintenance protocol with the LID/LIC matching,
@@ -86,8 +89,13 @@ type Result struct {
 // endpoints, maximality on the live subgraph). Any violation is an
 // error — the tests treat it as a protocol bug.
 func Run(s *pref.System, tbl *satisfaction.Table, schedule []Event, opts simnet.Options) (Result, error) {
+	return RunMode(s, tbl, Complete, schedule, opts)
+}
+
+// RunMode is Run with an explicit repair discipline.
+func RunMode(s *pref.System, tbl *satisfaction.Table, mode Mode, schedule []Event, opts simnet.Options) (Result, error) {
 	initial := matching.LIC(s, tbl)
-	nodes := NewNodes(s, tbl, initial)
+	nodes := NewNodesMode(s, tbl, initial, mode)
 	opts.Quiesce = true
 	runner := simnet.NewRunner(s.Graph().NumNodes(), opts)
 	for _, ev := range schedule {
@@ -106,6 +114,9 @@ func Run(s *pref.System, tbl *satisfaction.Table, schedule []Event, opts simnet.
 		res.Proposals += nd.Proposals
 		res.Accepts += nd.Accepts
 		res.Declines += nd.Declines
+		res.Preemptions += nd.Preemptions
+		res.SynthByes += nd.SynthByes
+		res.Resyncs += nd.Resyncs
 	}
 	// The simnet message instruments already merged into opts.Metrics
 	// when the runner finished; add the protocol-level counters on top.
@@ -120,6 +131,12 @@ func Run(s *pref.System, tbl *satisfaction.Table, schedule []Event, opts simnet.
 			Add(int64(res.Accepts))
 		opts.Metrics.Counter("dlid_declines_total", "repair proposals declined").
 			Add(int64(res.Declines))
+		opts.Metrics.Counter("dlid_preemptions_total", "connections dropped for a better proposer").
+			Add(int64(res.Preemptions))
+		opts.Metrics.Counter("dlid_synth_byes_total", "suspected peers handled as synthesized BYEs").
+			Add(int64(res.SynthByes))
+		opts.Metrics.Counter("dlid_resyncs_total", "restored peers re-greeted with HELLO").
+			Add(int64(res.Resyncs))
 	}
 	live, err := extractLive(s, nodes)
 	if err != nil {
@@ -177,7 +194,19 @@ func extractLive(s *pref.System, nodes []*Node) (*matching.Matching, error) {
 // verifyMaximal checks that no unmatched live edge has free quota at
 // both endpoints.
 func verifyMaximal(s *pref.System, nodes []*Node, live *matching.Matching) error {
+	return VerifyMaximalExcluding(s, nodes, live, nil)
+}
+
+// VerifyMaximalExcluding checks maximality of the live matching while
+// ignoring edges incident to the excluded nodes. Crash-stop runs need
+// this weaker check: a node silenced by a permanent link cut is still
+// formally alive (it never sent BYE), yet no edge across the cut can
+// be repaired, so only the rest of the graph owes maximality.
+func VerifyMaximalExcluding(s *pref.System, nodes []*Node, live *matching.Matching, excluded map[graph.NodeID]bool) error {
 	for _, e := range s.Graph().Edges() {
+		if excluded[e.U] || excluded[e.V] {
+			continue
+		}
 		if !nodes[e.U].Alive() || !nodes[e.V].Alive() || live.Has(e.U, e.V) {
 			continue
 		}

@@ -34,7 +34,7 @@ func E11LossyLinks(cfg Config) ([]*stats.Table, error) {
 			}
 			tbl := satisfaction.NewTable(sys)
 			nodes := lid.NewNodes(sys, tbl)
-			eps := reliable.Wrap(lid.Handlers(nodes), 30, 0)
+			eps := reliable.WrapConfig(lid.Handlers(nodes), cfg.reliableConfig())
 			var drop simnet.DropFunc
 			if loss > 0 {
 				drop = simnet.UniformDrop(loss)

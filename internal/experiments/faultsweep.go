@@ -61,7 +61,7 @@ func E15FaultSweep(cfg Config) ([]*stats.Table, error) {
 				sys := w.System
 				tbl := satisfaction.NewTable(sys)
 				nodes := lid.NewNodes(sys, tbl)
-				eps := reliable.Wrap(lid.Handlers(nodes), 30, 0)
+				eps := reliable.WrapConfig(lid.Handlers(nodes), cfg.reliableConfig())
 				var policy simnet.LinkPolicy
 				var inj *faults.Injector
 				if !step.spec.IsZero() {

@@ -98,8 +98,8 @@ func TestRegistryQuickCoverage(t *testing.T) {
 		t.Skip("runs the full quick suite")
 	}
 	all := All()
-	if len(all) < 15 {
-		t.Fatalf("registry lists %d experiments, want >= 15", len(all))
+	if len(all) < 16 {
+		t.Fatalf("registry lists %d experiments, want >= 16", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

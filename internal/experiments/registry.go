@@ -35,6 +35,7 @@ func All() []Experiment {
 		{"E13", "Coverage-first and local-search variants (future-work ablations)", E13Variants},
 		{"E14", "Distributed churn maintenance protocol (future-work extension)", E14Maintenance},
 		{"E15", "Fault-injection sweep through the reliability substrate", E15FaultSweep},
+		{"E16", "Self-healing under crash windows (detector + repair)", E16SelfHealing},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idLess(exps[i].ID, exps[j].ID) })
 	return exps

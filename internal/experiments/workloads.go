@@ -23,11 +23,13 @@ package experiments
 import (
 	"fmt"
 
+	"overlaymatch/internal/detector"
 	"overlaymatch/internal/faults"
 	"overlaymatch/internal/gen"
 	"overlaymatch/internal/graph"
 	mreg "overlaymatch/internal/metrics"
 	"overlaymatch/internal/pref"
+	"overlaymatch/internal/reliable"
 	"overlaymatch/internal/rng"
 	"overlaymatch/internal/simnet"
 )
@@ -60,6 +62,19 @@ type Config struct {
 	// FaultsSeed salts the per-run injection streams so the adversary
 	// varies independently of the workload seed.
 	FaultsSeed uint64
+	// RTO overrides the retransmission timeout of the
+	// transport-backed experiments (E11, E15); 0 keeps the historical
+	// default of 30 virtual time units, so default tables stay
+	// byte-identical.
+	RTO float64
+	// AdaptiveRTO switches the transport-backed experiments to the
+	// RFC-6298 adaptive estimator (reliable.Config.Adaptive). Off by
+	// default for the same byte-stability reason.
+	AdaptiveRTO bool
+	// Detector, when non-nil, overrides the failure-detector
+	// configuration of the self-healing experiment (E16); nil means
+	// detector.Default().
+	Detector *detector.Config
 }
 
 // policy returns the fault-injection policy for one run (nil when no
@@ -70,6 +85,25 @@ func (c Config) policy(salt uint64) simnet.LinkPolicy {
 		return nil
 	}
 	return faults.NewInjector(*c.Faults, c.FaultsSeed^(salt*0x9e3779b97f4a7c15+0x7f4a7c15))
+}
+
+// reliableConfig is the transport configuration of the
+// transport-backed experiments; the zero Config reproduces the
+// historical reliable.Wrap(handlers, 30, 0).
+func (c Config) reliableConfig() reliable.Config {
+	rto := c.RTO
+	if rto <= 0 {
+		rto = 30
+	}
+	return reliable.Config{RTO: rto, Adaptive: c.AdaptiveRTO}
+}
+
+// detectorConfig is E16's failure-detector configuration.
+func (c Config) detectorConfig() detector.Config {
+	if c.Detector != nil {
+		return *c.Detector
+	}
+	return detector.Default()
 }
 
 func (c Config) pick(quick, full int) int {

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -72,6 +73,13 @@ type Violation struct {
 type Report struct {
 	Trials     int
 	Injections int // probabilistic injections applied across all trials
+	// Degraded counts trials that quiesced with permanently lost
+	// frames (DegradedError): a bounded-retry transport gave up under
+	// an unhealed fault. These are expected under crash-stop
+	// adversaries and are kept apart from Violations — the oracle
+	// distinguishing "quiesced with abandoned frames" from both clean
+	// termination and genuine invariant breakage.
+	Degraded   int
 	Violations []Violation
 }
 
@@ -115,9 +123,17 @@ func Explore(opts ExploreOptions, trial Trial) Report {
 				inj := NewInjector(opts.Spec, injectionSeed(seed))
 				err := runTrial(trial, seed, inj)
 
+				var degraded *DegradedError
+				if errors.As(err, &degraded) {
+					err = nil
+				}
+
 				mu.Lock()
 				rep.Trials++
 				rep.Injections += len(inj.Events())
+				if degraded != nil {
+					rep.Degraded++
+				}
 				if err != nil {
 					violations = append(violations, outcome{
 						seed:   seed,
@@ -172,7 +188,15 @@ func Shrink(spec Spec, seed uint64, events []Event, trial Trial, maxRuns int) (m
 			return false
 		}
 		runs++
-		return runTrial(trial, seed, NewReplayInjector(spec, candidate)) != nil
+		err := runTrial(trial, seed, NewReplayInjector(spec, candidate))
+		// A degraded run is not the violation being minimized — a
+		// candidate that merely degrades must be rejected, or the
+		// shrinker drifts away from the genuine failure.
+		var degraded *DegradedError
+		if errors.As(err, &degraded) {
+			return false
+		}
+		return err != nil
 	}
 	// The schedule must reproduce under replay at all before removal
 	// means anything (it can fail to: GoRunner schedules drift).
@@ -209,5 +233,6 @@ func Shrink(spec Spec, seed uint64, events []Event, trial Trial, maxRuns int) (m
 
 // Summary renders a one-line human summary of the report.
 func (r Report) Summary() string {
-	return fmt.Sprintf("trials=%d injections=%d violations=%d", r.Trials, r.Injections, len(r.Violations))
+	return fmt.Sprintf("trials=%d injections=%d degraded=%d violations=%d",
+		r.Trials, r.Injections, r.Degraded, len(r.Violations))
 }

@@ -132,6 +132,14 @@ type TrialOptions struct {
 	RTO float64
 	// Jitter is the exponential latency jitter scale (default 4).
 	Jitter float64
+	// MaxRetries bounds the transport's retransmissions per frame
+	// (0 = retry forever, the eventual-delivery regime). A bounded
+	// budget changes the termination oracle: under an unhealed cut the
+	// transport eventually abandons its frames and the run *quiesces*
+	// instead of retrying forever, so the runner is put in Quiesce mode
+	// and a run that drained with abandoned frames is classified as a
+	// DegradedError rather than a violation.
+	MaxRetries int
 	// MaxDeliveries guards against non-termination; 0 derives a bound
 	// from the instance size (the non-termination invariant).
 	MaxDeliveries int
@@ -167,15 +175,67 @@ func (o TrialOptions) maxDeliveries(sys *pref.System) int {
 // checks) into errors.
 type Trial func(seed uint64, inj *Injector) error
 
+// DegradedError classifies a run that terminated but lost frames for
+// good: a bounded-retry transport (TrialOptions.MaxRetries) exhausted
+// its budget against an unhealed fault and abandoned sends. Such a run
+// quiesced — the "stuck forever retrying" failure mode did not occur —
+// but the eventual-delivery assumption underlying the LIC-equality
+// oracle is void, so equality (and any structural wreckage downstream
+// of the lost frames, carried in Err) is reported as degradation, not
+// as a protocol violation. Explore counts these separately.
+type DegradedError struct {
+	// Abandoned is the total number of frames given up; ByPeer breaks
+	// it down by destination so a single dead link is visible.
+	Abandoned int
+	ByPeer    map[int]int
+	// LinkDowns counts the transport's down-transition escalations.
+	LinkDowns int
+	// Err is the oracle failure observed in the degraded run, if any
+	// (nil when the run quiesced with a clean partial outcome).
+	Err error
+}
+
+func (e *DegradedError) Error() string {
+	msg := fmt.Sprintf("faults: degraded run: %d frames abandoned toward %d peers, %d link-down escalations",
+		e.Abandoned, len(e.ByPeer), e.LinkDowns)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *DegradedError) Unwrap() error { return e.Err }
+
+// runError marks failures of the run itself — deadlock or the
+// delivery-bound guard — which the degraded-run classification must
+// never waive: a bounded-retry transport is supposed to quiesce.
+type runError struct{ error }
+
+func (e runError) Unwrap() error { return e.error }
+
 // LIDTrial builds the standard trial: run LID on sys under the
 // injector and verify the full invariant set — termination (bounded
 // deliveries), symmetric locks and quota feasibility (BuildMatching +
-// Validate), and outcome ≡ LIC edge-for-edge (Lemmas 3–6).
+// Validate), and outcome ≡ LIC edge-for-edge (Lemmas 3–6). With
+// bounded retries (opts.MaxRetries > 0) a run whose transport
+// abandoned frames comes back as a *DegradedError instead: it must
+// still quiesce, but the LIC oracle is void without eventual delivery.
 func LIDTrial(sys *pref.System, opts TrialOptions) Trial {
 	tbl := satisfaction.NewTable(sys)
 	want := matching.LIC(sys, tbl)
 	return func(seed uint64, inj *Injector) error {
-		m, _, err := runLID(sys, tbl, seed, inj, opts)
+		m, eps, _, err := runLID(sys, tbl, seed, inj, opts)
+		if _, isRun := err.(runError); isRun {
+			return err
+		}
+		if ab := reliable.TotalAbandoned(eps); ab > 0 {
+			return &DegradedError{
+				Abandoned: ab,
+				ByPeer:    abandonedByPeer(eps),
+				LinkDowns: reliable.TotalLinkDowns(eps),
+				Err:       err,
+			}
+		}
 		if err != nil {
 			return err
 		}
@@ -186,14 +246,27 @@ func LIDTrial(sys *pref.System, opts TrialOptions) Trial {
 	}
 }
 
+// abandonedByPeer merges the per-endpoint abandonment maps.
+func abandonedByPeer(eps []*reliable.Endpoint) map[int]int {
+	merged := make(map[int]int)
+	for _, e := range eps {
+		for peer, n := range e.AbandonedBy() {
+			merged[peer] += n
+		}
+	}
+	return merged
+}
+
 // runLID executes one LID run under the injector and checks the
-// structural invariants, returning the resulting matching and stats.
-func runLID(sys *pref.System, tbl *satisfaction.Table, seed uint64, inj *Injector, opts TrialOptions) (*matching.Matching, simnet.Stats, error) {
+// structural invariants, returning the resulting matching, the
+// transport endpoints (nil when bare) and stats. Runner failures come
+// back as runError; structural violations as plain errors.
+func runLID(sys *pref.System, tbl *satisfaction.Table, seed uint64, inj *Injector, opts TrialOptions) (*matching.Matching, []*reliable.Endpoint, simnet.Stats, error) {
 	nodes := lid.NewNodes(sys, tbl)
 	handlers := lid.Handlers(nodes)
 	var eps []*reliable.Endpoint
 	if opts.Reliable {
-		eps = reliable.Wrap(handlers, opts.rto(), 0)
+		eps = reliable.Wrap(handlers, opts.rto(), opts.MaxRetries)
 		handlers = reliable.Handlers(eps)
 	}
 	runner := simnet.NewRunner(sys.Graph().NumNodes(), simnet.Options{
@@ -201,19 +274,23 @@ func runLID(sys *pref.System, tbl *satisfaction.Table, seed uint64, inj *Injecto
 		Latency:       simnet.ExponentialLatency(opts.jitter()),
 		Policy:        inj,
 		MaxDeliveries: opts.maxDeliveries(sys),
+		// With a bounded retry budget abandonment is a legal outcome:
+		// nodes starved of answers idle rather than halt, and the run
+		// ends when the event queue drains.
+		Quiesce: opts.MaxRetries > 0,
 	})
 	stats, err := runner.Run(handlers)
 	if err != nil {
-		return nil, stats, fmt.Errorf("faults: run: %w", err)
+		return nil, eps, stats, runError{fmt.Errorf("faults: run: %w", err)}
 	}
 	m, err := lid.BuildMatching(nodes)
 	if err != nil {
-		return nil, stats, fmt.Errorf("faults: %w", err)
+		return nil, eps, stats, fmt.Errorf("faults: %w", err)
 	}
 	if err := m.Validate(sys); err != nil {
-		return nil, stats, fmt.Errorf("faults: %w", err)
+		return nil, eps, stats, fmt.Errorf("faults: %w", err)
 	}
-	return m, stats, nil
+	return m, eps, stats, nil
 }
 
 // ReplayFile freezes one failing (or interesting) run: everything
@@ -229,6 +306,8 @@ type ReplayFile struct {
 	Reliable bool   `json:"reliable"`
 	RTO      float64 `json:"rto,omitempty"`
 	Jitter   float64 `json:"jitter,omitempty"`
+	// MaxRetries freezes the transport's retry budget (0 = unbounded).
+	MaxRetries int `json:"max_retries,omitempty"`
 	// Err is the violation the run reproduced when it was recorded.
 	Err string `json:"err,omitempty"`
 	// Events is the (minimized) injection schedule.
@@ -254,6 +333,9 @@ func (f *ReplayFile) Validate() error {
 	}
 	if !(f.Jitter >= 0) || f.Jitter > 1e9 {
 		return fmt.Errorf("faults: jitter=%v invalid", f.Jitter)
+	}
+	if f.MaxRetries < 0 || f.MaxRetries > 1<<20 {
+		return fmt.Errorf("faults: max_retries=%d invalid", f.MaxRetries)
 	}
 	if len(f.Events) > 1<<22 {
 		return fmt.Errorf("faults: %d events exceed the sanity cap", len(f.Events))
@@ -321,7 +403,7 @@ func (f *ReplayFile) Run() (ReplayOutcome, error) {
 	if err != nil {
 		return ReplayOutcome{}, err
 	}
-	trial := LIDTrial(sys, TrialOptions{Reliable: f.Reliable, RTO: f.RTO, Jitter: f.Jitter})
+	trial := LIDTrial(sys, TrialOptions{Reliable: f.Reliable, RTO: f.RTO, Jitter: f.Jitter, MaxRetries: f.MaxRetries})
 	verr := runTrial(trial, f.Seed, NewReplayInjector(spec, f.Events))
 	out := ReplayOutcome{}
 	if verr != nil {

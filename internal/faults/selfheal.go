@@ -1,0 +1,42 @@
+package faults
+
+import (
+	"overlaymatch/internal/dlid"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/reliable"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+)
+
+// SelfHealTrial builds a trial for the self-healing overlay stack
+// (dlid maintenance under a failure detector and optional bounded-retry
+// transport, see dlid.RunSelfHeal): run the stack under the injector
+// and require the full structural invariant set — quiescence, symmetry,
+// feasibility, and maximality on the live subgraph excluding silenced
+// nodes. Unlike LIDTrial, abandonment does NOT waive the invariants:
+// converting lost links into repairs is exactly what the stack is for,
+// so a structural violation in a degraded run is still a violation.
+// Runs that quiesced cleanly but lost frames come back as
+// *DegradedError so Explore tallies them apart from clean runs.
+func SelfHealTrial(sys *pref.System, cfg dlid.SelfHealConfig, schedule []dlid.Event, opts TrialOptions) Trial {
+	tbl := satisfaction.NewTable(sys)
+	return func(seed uint64, inj *Injector) error {
+		res, err := dlid.RunSelfHeal(sys, tbl, cfg, schedule, simnet.Options{
+			Seed:          seed,
+			Latency:       simnet.ExponentialLatency(opts.jitter()),
+			Policy:        inj,
+			MaxDeliveries: opts.maxDeliveries(sys),
+		})
+		if err != nil {
+			return err
+		}
+		if ab := reliable.TotalAbandoned(res.Endpoints); ab > 0 {
+			return &DegradedError{
+				Abandoned: ab,
+				ByPeer:    abandonedByPeer(res.Endpoints),
+				LinkDowns: reliable.TotalLinkDowns(res.Endpoints),
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"overlaymatch/internal/detector"
+	"overlaymatch/internal/dlid"
+	"overlaymatch/internal/reliable"
+	"overlaymatch/internal/robust"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+)
+
+// TestNoHealCrashQuiesces pins the termination half of the crash-stop
+// story: a node silenced forever plus a transport with a *bounded*
+// retry budget must still reach global quiescence — the retransmission
+// timers drain instead of retrying into eternity — with the loss
+// surfaced as abandonment and a LinkDown escalation, never as a hang.
+// Both runtimes are exercised: the event runtime in Quiesce mode via
+// LIDTrial's bounded-retry path (which must classify the run as
+// degraded, not as a violation), and the goroutine runtime with the
+// timeout-tolerant protocol on top (the GoRunner has no quiesce mode,
+// so termination there means every node actually halts).
+func TestNoHealCrashQuiesces(t *testing.T) {
+	w := WorkloadSpec{Topology: "gnp", Metric: "random", N: 20, B: 2, Seed: 9}
+	sys, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const crashed = 3
+	if len(sys.Graph().Neighbors(crashed)) == 0 {
+		t.Fatal("workload gave the crash victim no neighbors; pick another seed")
+	}
+	spec := Spec{Crashes: []Crash{{Start: 0, End: NoHeal, Node: crashed}}}
+
+	t.Run("event", func(t *testing.T) {
+		trial := LIDTrial(sys, TrialOptions{Reliable: true, RTO: 20, MaxRetries: 3})
+		for seed := uint64(0); seed < 8; seed++ {
+			err := runTrial(trial, seed, NewInjector(spec, injectionSeed(seed)))
+			var de *DegradedError
+			if !errors.As(err, &de) {
+				t.Fatalf("seed %d: want degraded quiescence, got %v", seed, err)
+			}
+			if de.Abandoned == 0 || de.LinkDowns == 0 {
+				t.Fatalf("seed %d: degraded without abandonment? %+v", seed, de)
+			}
+			total := 0
+			for _, n := range de.ByPeer {
+				total += n
+			}
+			if total != de.Abandoned {
+				t.Fatalf("seed %d: per-peer counts (%d) do not add up to the total (%d)",
+					seed, total, de.Abandoned)
+			}
+		}
+	})
+
+	t.Run("goroutine", func(t *testing.T) {
+		tbl := satisfaction.NewTable(sys)
+		n := sys.Graph().NumNodes()
+		handlers := make([]simnet.Handler, n)
+		for id := 0; id < n; id++ {
+			// Timeout comfortably past rto * (1 + retries) so honest
+			// answers beat the reaper.
+			handlers[id] = robust.NewTolerantNode(sys, tbl, id, 400)
+		}
+		eps := reliable.Wrap(handlers, 20, 3)
+		runner := simnet.NewGoRunner(n, 60*time.Second)
+		runner.SetPolicy(NewInjector(spec, injectionSeed(42)))
+		if _, err := runner.Run(reliable.Handlers(eps)); err != nil {
+			t.Fatalf("goroutine runtime did not quiesce: %v", err)
+		}
+		if reliable.TotalAbandoned(eps) == 0 {
+			t.Fatal("no frames abandoned across an unhealed crash")
+		}
+		if reliable.TotalLinkDowns(eps) == 0 {
+			t.Fatal("no LinkDown escalation across an unhealed crash")
+		}
+	})
+}
+
+// TestExploreClassifiesDegraded runs the sweep itself over the
+// crash-stop adversary: every trial must land in Degraded — quiesced
+// with abandoned frames — and none in Violations, proving the
+// termination oracle distinguishes loss-degradation from breakage.
+func TestExploreClassifiesDegraded(t *testing.T) {
+	w := WorkloadSpec{Topology: "gnp", Metric: "random", N: 16, B: 2, Seed: 9}
+	sys, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Crashes: []Crash{{Start: 0, End: NoHeal, Node: 2}}}
+	rep := Explore(ExploreOptions{Spec: spec, BaseSeed: 10, Count: 6},
+		LIDTrial(sys, TrialOptions{Reliable: true, RTO: 20, MaxRetries: 3}))
+	if len(rep.Violations) != 0 {
+		t.Fatalf("crash-stop degradation misreported as violations: %+v", rep.Violations)
+	}
+	if rep.Degraded != rep.Trials {
+		t.Fatalf("only %d/%d trials classified degraded (%s)", rep.Degraded, rep.Trials, rep.Summary())
+	}
+}
+
+// TestExploreSelfHealCrashWindows sweeps the full self-healing stack
+// (Rematch repair + heartbeat detector) through healing crash windows:
+// the detector must carry every trial through suspicion, repair and
+// restore without a single structural violation.
+func TestExploreSelfHealCrashWindows(t *testing.T) {
+	w := WorkloadSpec{Topology: "gnp", Metric: "random", N: 24, B: 2, Seed: 4}
+	sys, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Crashes: []Crash{{Start: 40, End: 260, Node: 5}}}
+	trial := SelfHealTrial(sys, dlid.SelfHealConfig{
+		Mode:     dlid.Rematch,
+		Detector: detector.Default(),
+	}, nil, TrialOptions{Jitter: 0.5})
+	rep := Explore(ExploreOptions{Spec: spec, BaseSeed: 1, Count: 8}, trial)
+	if len(rep.Violations) != 0 {
+		t.Fatalf("self-heal stack violated under crash windows: %+v", rep.Violations)
+	}
+	// No transport in this stack, so nothing can be abandoned.
+	if rep.Degraded != 0 {
+		t.Fatalf("transport-free stack reported %d degraded trials", rep.Degraded)
+	}
+}

@@ -21,6 +21,8 @@ package reliable
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 
 	"overlaymatch/internal/metrics"
 	"overlaymatch/internal/simnet"
@@ -55,9 +57,50 @@ type frameKey struct {
 	seq uint32
 }
 
+// Config parameterizes an Endpoint beyond the classic static-RTO
+// scheme. The zero value of the optional fields reproduces the
+// original behavior exactly: a constant retransmission timeout with no
+// backoff (the experiment goldens depend on it).
+type Config struct {
+	// RTO is the (initial) retransmission timeout in virtual time
+	// units; must be positive.
+	RTO float64
+	// MaxRetries bounds retransmissions per frame (0 = unlimited).
+	// When the budget is exhausted the frame is abandoned, counted
+	// per-peer, and the first abandonment toward a peer escalates as
+	// a LinkDown upcall to the inner handler (simnet.LinkDownHandler).
+	MaxRetries int
+	// Adaptive enables RFC-6298-style RTO estimation: SRTT/RTTVAR per
+	// peer fed by acknowledged first transmissions (Karn's rule —
+	// retransmitted frames never produce samples), plus exponential
+	// backoff per retry, capped at MaxRTO. On a runtime without a
+	// clock (Context.Time reporting 0) no samples accumulate and the
+	// static RTO is used, still with backoff.
+	Adaptive bool
+	// MinRTO clamps the adaptive estimate from below (default 1).
+	MinRTO float64
+	// MaxRTO caps estimate and backoff (default 16×RTO).
+	MaxRTO float64
+}
+
+func (c Config) minRTO() float64 {
+	if c.MinRTO > 0 {
+		return c.MinRTO
+	}
+	return 1
+}
+
+func (c Config) maxRTO() float64 {
+	if c.MaxRTO > 0 {
+		return c.MaxRTO
+	}
+	return 16 * c.RTO
+}
+
 // Endpoint wraps an inner protocol handler with reliable delivery.
 type Endpoint struct {
 	inner      simnet.Handler
+	cfg        Config
 	rto        float64
 	maxRetries int // 0 = retry forever
 
@@ -66,16 +109,29 @@ type Endpoint struct {
 	attempts  map[frameKey]int
 	delivered map[int]map[uint32]bool
 
+	// Adaptive-RTO state (RFC 6298), all per peer.
+	sendTime map[frameKey]float64
+	srtt     map[int]float64
+	rttvar   map[int]float64
+
+	// down marks peers that exhausted their retry budget; cleared on
+	// the next arrival from the peer so a later loss burst can
+	// escalate again.
+	down map[int]bool
+
 	innerHalted bool
 	realHalted  bool
 	abandoned   int // frames given up after maxRetries
 
 	// Counters for the experiments.
-	frames      int // DATA frames sent, retransmissions included
-	acks        int // ACK frames sent
-	retransmits int
-	duplicates  int
-	corrupted   int // frames discarded as corrupted (failed checksum)
+	frames          int // DATA frames sent, retransmissions included
+	acks            int // ACK frames sent
+	retransmits     int
+	duplicates      int
+	corrupted       int // frames discarded as corrupted (failed checksum)
+	linkDowns       int // down transitions escalated
+	rttSamples      int // RTT samples accepted into the estimator
+	abandonedByPeer map[int]int
 }
 
 // NewEndpoint wraps inner. rto is the retransmission timeout in
@@ -84,17 +140,28 @@ type Endpoint struct {
 // maxRetries bounds retransmissions per frame (0 = unlimited, the
 // default the paper's model needs).
 func NewEndpoint(inner simnet.Handler, rto float64, maxRetries int) *Endpoint {
-	if rto <= 0 {
+	return NewEndpointConfig(inner, Config{RTO: rto, MaxRetries: maxRetries})
+}
+
+// NewEndpointConfig wraps inner with the full configuration.
+func NewEndpointConfig(inner simnet.Handler, cfg Config) *Endpoint {
+	if cfg.RTO <= 0 {
 		panic("reliable: rto must be positive")
 	}
 	return &Endpoint{
-		inner:      inner,
-		rto:        rto,
-		maxRetries: maxRetries,
-		nextSeq:    make(map[int]uint32),
-		unacked:    make(map[frameKey]simnet.Message),
-		attempts:   make(map[frameKey]int),
-		delivered:  make(map[int]map[uint32]bool),
+		inner:           inner,
+		cfg:             cfg,
+		rto:             cfg.RTO,
+		maxRetries:      cfg.MaxRetries,
+		nextSeq:         make(map[int]uint32),
+		unacked:         make(map[frameKey]simnet.Message),
+		attempts:        make(map[frameKey]int),
+		delivered:       make(map[int]map[uint32]bool),
+		sendTime:        make(map[frameKey]float64),
+		srtt:            make(map[int]float64),
+		rttvar:          make(map[int]float64),
+		down:            make(map[int]bool),
+		abandonedByPeer: make(map[int]int),
 	}
 }
 
@@ -120,6 +187,73 @@ func (e *Endpoint) Abandoned() int { return e.abandoned }
 // retransmission; a corrupted ACK by the duplicate-ack rule.
 func (e *Endpoint) Corrupted() int { return e.corrupted }
 
+// LinkDowns returns the number of down transitions this endpoint
+// escalated (at most one per silent stretch per peer).
+func (e *Endpoint) LinkDowns() int { return e.linkDowns }
+
+// RTTSamples returns how many RTT samples fed the adaptive estimator.
+func (e *Endpoint) RTTSamples() int { return e.rttSamples }
+
+// SRTT returns the smoothed round-trip estimate toward peer and
+// whether any sample has been accepted.
+func (e *Endpoint) SRTT(peer int) (float64, bool) {
+	v, ok := e.srtt[peer]
+	return v, ok
+}
+
+// AbandonedBy returns the frames abandoned toward each peer (only
+// peers with at least one abandonment appear). The returned map is the
+// endpoint's own bookkeeping; callers must not mutate it.
+func (e *Endpoint) AbandonedBy() map[int]int { return e.abandonedByPeer }
+
+// Down reports whether the endpoint currently considers the link to
+// peer dead (retry budget exhausted, nothing heard since).
+func (e *Endpoint) Down(peer int) bool { return e.down[peer] }
+
+// rtoFor computes the timeout armed for the given transmission attempt
+// (1 = first send). The static path is a constant — byte-identical to
+// the original scheme; the adaptive path uses SRTT + 4·RTTVAR when
+// samples exist, clamped to [MinRTO, MaxRTO], doubled per retry.
+func (e *Endpoint) rtoFor(to, attempt int) float64 {
+	if !e.cfg.Adaptive {
+		return e.rto
+	}
+	base := e.rto
+	if s, ok := e.srtt[to]; ok {
+		base = s + 4*e.rttvar[to]
+	}
+	if min := e.cfg.minRTO(); base < min {
+		base = min
+	}
+	max := e.cfg.maxRTO()
+	for i := 1; i < attempt && base < max; i++ {
+		base *= 2
+	}
+	if base > max {
+		base = max
+	}
+	return base
+}
+
+// observeRTT feeds one sample into the RFC 6298 estimator.
+func (e *Endpoint) observeRTT(peer int, sample float64) {
+	if sample <= 0 {
+		return // clockless runtime (or same-instant ack): no information
+	}
+	e.rttSamples++
+	if _, ok := e.srtt[peer]; !ok {
+		e.srtt[peer] = sample
+		e.rttvar[peer] = sample / 2
+		return
+	}
+	d := e.srtt[peer] - sample
+	if d < 0 {
+		d = -d
+	}
+	e.rttvar[peer] = 0.75*e.rttvar[peer] + 0.25*d
+	e.srtt[peer] = 0.875*e.srtt[peer] + 0.125*sample
+}
+
 // relCtx is the context handed to the inner protocol: sends become
 // sequenced frames, Halt is deferred until all frames are acked.
 type relCtx struct {
@@ -137,9 +271,12 @@ func (c *relCtx) Send(to int, msg simnet.Message) {
 	k := frameKey{to: to, seq: seq}
 	e.unacked[k] = msg
 	e.attempts[k] = 1
+	if e.cfg.Adaptive {
+		e.sendTime[k] = c.ctx.Time()
+	}
 	e.frames++
 	c.ctx.Send(to, dataMsg{Seq: seq, Payload: msg})
-	simnet.SetTimerOn(c.ctx, e.rto, retransmitToken{To: to, Seq: seq})
+	simnet.SetTimerOn(c.ctx, e.rtoFor(to, 1), retransmitToken{To: to, Seq: seq})
 }
 
 func (c *relCtx) Halt() {
@@ -180,7 +317,19 @@ func (e *Endpoint) HandleMessage(ctx simnet.Context, from int, msg simnet.Messag
 		if e.maxRetries > 0 && e.attempts[k] > e.maxRetries {
 			delete(e.unacked, k)
 			delete(e.attempts, k)
+			delete(e.sendTime, k)
 			e.abandoned++
+			e.abandonedByPeer[m.To]++
+			if !e.down[m.To] {
+				// First abandonment of a silent stretch: escalate. The
+				// upcall runs through relCtx so repairs the inner
+				// protocol launches are themselves reliably framed.
+				e.down[m.To] = true
+				e.linkDowns++
+				if lh, ok := e.inner.(simnet.LinkDownHandler); ok {
+					lh.HandleLinkDown(&relCtx{e: e, ctx: ctx}, m.To)
+				}
+			}
 			e.maybeHalt(ctx)
 			return
 		}
@@ -188,8 +337,9 @@ func (e *Endpoint) HandleMessage(ctx simnet.Context, from int, msg simnet.Messag
 		e.retransmits++
 		e.frames++
 		ctx.Send(m.To, dataMsg{Seq: m.Seq, Payload: payload})
-		simnet.SetTimerOn(ctx, e.rto, retransmitToken{To: m.To, Seq: m.Seq})
+		simnet.SetTimerOn(ctx, e.rtoFor(m.To, e.attempts[k]), retransmitToken{To: m.To, Seq: m.Seq})
 	case dataMsg:
+		delete(e.down, from) // the link is audibly alive again
 		// Always ack: a duplicate means our previous ack was lost.
 		e.acks++
 		ctx.Send(from, ackMsg{Seq: m.Seq})
@@ -206,8 +356,18 @@ func (e *Endpoint) HandleMessage(ctx simnet.Context, from int, msg simnet.Messag
 		e.inner.HandleMessage(&relCtx{e: e, ctx: ctx}, from, m.Payload)
 		e.maybeHalt(ctx)
 	case ackMsg:
-		delete(e.unacked, frameKey{to: from, seq: m.Seq})
-		delete(e.attempts, frameKey{to: from, seq: m.Seq})
+		delete(e.down, from)
+		k := frameKey{to: from, seq: m.Seq}
+		if e.cfg.Adaptive {
+			// Karn's rule: only never-retransmitted frames produce RTT
+			// samples (a retransmitted frame's ack is ambiguous).
+			if e.attempts[k] == 1 {
+				e.observeRTT(from, ctx.Time()-e.sendTime[k])
+			}
+			delete(e.sendTime, k)
+		}
+		delete(e.unacked, k)
+		delete(e.attempts, k)
 		e.maybeHalt(ctx)
 	case simnet.Corrupted:
 		// Failed checksum: discard the whole frame without looking
@@ -221,11 +381,38 @@ func (e *Endpoint) HandleMessage(ctx simnet.Context, from int, msg simnet.Messag
 	}
 }
 
+// HandleSuspect implements simnet.SuspectHandler by forwarding the
+// verdict to the inner handler (when it cares), wrapped in relCtx so
+// any repair traffic it triggers is reliably framed. A failure
+// detector stacked above the transport (detector.Monitor wrapping an
+// Endpoint) therefore composes transparently.
+func (e *Endpoint) HandleSuspect(ctx simnet.Context, peer int) {
+	if sh, ok := e.inner.(simnet.SuspectHandler); ok {
+		sh.HandleSuspect(&relCtx{e: e, ctx: ctx}, peer)
+	}
+}
+
+// HandleRestore implements simnet.SuspectHandler; see HandleSuspect.
+func (e *Endpoint) HandleRestore(ctx simnet.Context, peer int) {
+	if sh, ok := e.inner.(simnet.SuspectHandler); ok {
+		sh.HandleRestore(&relCtx{e: e, ctx: ctx}, peer)
+	}
+}
+
 // Wrap builds one Endpoint per handler with shared parameters.
 func Wrap(handlers []simnet.Handler, rto float64, maxRetries int) []*Endpoint {
 	out := make([]*Endpoint, len(handlers))
 	for i, h := range handlers {
 		out[i] = NewEndpoint(h, rto, maxRetries)
+	}
+	return out
+}
+
+// WrapConfig builds one Endpoint per handler with a shared config.
+func WrapConfig(handlers []simnet.Handler, cfg Config) []*Endpoint {
+	out := make([]*Endpoint, len(handlers))
+	for i, h := range handlers {
+		out[i] = NewEndpointConfig(h, cfg)
 	}
 	return out
 }
@@ -276,6 +463,15 @@ func TotalCorrupted(endpoints []*Endpoint) int {
 	return total
 }
 
+// TotalLinkDowns sums escalated down transitions across endpoints.
+func TotalLinkDowns(endpoints []*Endpoint) int {
+	total := 0
+	for _, e := range endpoints {
+		total += e.linkDowns
+	}
+	return total
+}
+
 // PublishMetrics adds the transport totals of one finished run to reg.
 // The per-endpoint int counters stay the source of truth for the
 // experiments (single-threaded event runtime, no synchronization
@@ -297,6 +493,37 @@ func PublishMetrics(reg *metrics.Registry, endpoints []*Endpoint) {
 		Add(int64(TotalAbandoned(endpoints)))
 	reg.Counter("reliable_corrupted_total", "frames discarded with a failed checksum").
 		Add(int64(TotalCorrupted(endpoints)))
+	reg.Counter("reliable_linkdown_total", "link-death escalations after exhausted retries").
+		Add(int64(TotalLinkDowns(endpoints)))
+	reg.Counter("reliable_rtt_samples_total", "RTT samples accepted by the adaptive estimator").
+		Add(int64(sum(endpoints, (*Endpoint).RTTSamples)))
+	// Per-peer abandonment so a single dead link is visible instead of
+	// dissolving into the global total (the silent-abandonment fix).
+	byPeer := reg.Family("reliable_abandoned_by_peer", "frames given up, by destination peer", "peer")
+	for _, e := range endpoints {
+		peers := make([]int, 0, len(e.abandonedByPeer))
+		for p := range e.abandonedByPeer {
+			peers = append(peers, p)
+		}
+		sort.Ints(peers)
+		for _, p := range peers {
+			byPeer.With(strconv.Itoa(p)).Add(int64(e.abandonedByPeer[p]))
+		}
+	}
+	// The final smoothed RTT estimates, one observation per (endpoint,
+	// peer) with samples — the adaptive-RTO family's distribution view.
+	srtt := reg.Histogram("reliable_srtt", "final smoothed RTT estimates per peer link",
+		[]float64{1, 2, 5, 10, 20, 50, 100, 200, 500})
+	for _, e := range endpoints {
+		peers := make([]int, 0, len(e.srtt))
+		for p := range e.srtt {
+			peers = append(peers, p)
+		}
+		sort.Ints(peers)
+		for _, p := range peers {
+			srtt.Observe(e.srtt[p])
+		}
+	}
 }
 
 func sum(endpoints []*Endpoint, f func(*Endpoint) int) int {

@@ -17,6 +17,11 @@
 //     mid-protocol), and Spammer (floods PROP followed by REJ to every
 //     neighbor).
 //
+// The proposal timeout is static by default; SetAdaptiveTimeout
+// optionally drives it from a phi-accrual estimator over observed
+// response times (package detector), with the static value as a hard
+// ceiling so adaptation only tightens.
+//
 // Guarantees and their limits: with honest-but-slow peers, a timeout
 // chosen above the latency tail keeps the outcome identical to LIC
 // (tested); under adversaries the hardened protocol still terminates,
@@ -30,6 +35,7 @@ package robust
 import (
 	"fmt"
 
+	"overlaymatch/internal/detector"
 	"overlaymatch/internal/graph"
 	"overlaymatch/internal/lid"
 	"overlaymatch/internal/pref"
@@ -41,6 +47,12 @@ import (
 type timeoutToken struct {
 	To graph.NodeID
 }
+
+// adaptiveMinSamples is how many response-time observations the
+// estimator needs before the adaptive timeout replaces the static one.
+// Below it the variance estimate is dominated by the floor and a single
+// latency-tail draw could revoke half the overlay.
+const adaptiveMinSamples = 4
 
 // neighbor states. Unlike package lid these admit one extra
 // transition: locked -> resolved (revoked lock).
@@ -71,6 +83,13 @@ type TolerantNode struct {
 	halted     bool
 	quotaFullB bool // REJ broadcast already sent
 
+	// est, when non-nil, adapts the proposal timeout to observed
+	// response times (phi-accrual, see SetAdaptiveTimeout). sentAt
+	// remembers when each outstanding proposal left.
+	est    *detector.Estimator
+	phi    float64
+	sentAt map[graph.NodeID]float64
+
 	// Violations counts messages that the strict protocol forbids;
 	// adversaries produce them, honest peers never should.
 	Violations int
@@ -78,6 +97,9 @@ type TolerantNode struct {
 	Revocations int
 	// DissolvedLocks counts locks dissolved by an incoming revocation.
 	DissolvedLocks int
+	// AdaptiveArms counts proposals whose timer was armed from the
+	// estimator rather than the static timeout.
+	AdaptiveArms int
 }
 
 // NewTolerantNode builds the hardened node for id with the given
@@ -101,6 +123,55 @@ func NewTolerantNode(s *pref.System, tbl *satisfaction.Table, id graph.NodeID, t
 	}
 }
 
+// SetAdaptiveTimeout attaches a phi-accrual estimator that tightens
+// the proposal timeout as response times are observed: once the
+// estimator holds enough samples, each new proposal's timer is armed at
+// Threshold(phi) instead of the static timeout. The static timeout
+// stays a hard ceiling — adaptation only ever tightens, so the
+// termination argument of the fixed-timeout protocol carries over
+// unchanged, and a nil estimator (the default) leaves the node
+// byte-identical to the fixed-timeout one. Response times are only
+// meaningful on the event runtime (the goroutine runtime reports
+// virtual time 0 everywhere), so under the GoRunner the node silently
+// stays on the static timeout. Call before Init.
+func (n *TolerantNode) SetAdaptiveTimeout(est *detector.Estimator, phi float64) {
+	if phi <= 0 {
+		panic("robust: phi threshold must be positive")
+	}
+	n.est = est
+	n.phi = phi
+	n.sentAt = make(map[graph.NodeID]float64, len(n.order))
+}
+
+// proposalTimeout picks the timer value for the next proposal: the
+// estimator's threshold when it is armed and tighter than the static
+// bound, the static bound otherwise.
+func (n *TolerantNode) proposalTimeout() float64 {
+	if n.est == nil || n.est.Count() < adaptiveMinSamples {
+		return n.timeout
+	}
+	if to := n.est.Threshold(n.phi); to < n.timeout {
+		n.AdaptiveArms++
+		return to
+	}
+	return n.timeout
+}
+
+// observeResponse feeds the estimator with the response time of an
+// answered proposal. Timed-out proposals are never observed (the
+// revocation is not an answer), mirroring Karn's rule in the
+// retransmission layer.
+func (n *TolerantNode) observeResponse(ctx simnet.Context, from graph.NodeID) {
+	if n.est == nil {
+		return
+	}
+	if now := ctx.Time(); now > 0 {
+		if rt := now - n.sentAt[from]; rt > 0 {
+			n.est.Observe(rt)
+		}
+	}
+}
+
 // Init implements simnet.Handler.
 func (n *TolerantNode) Init(ctx simnet.Context) {
 	for n.pending+len(n.locked) < n.quota && n.cursor < len(n.order) {
@@ -114,8 +185,11 @@ func (n *TolerantNode) Init(ctx simnet.Context) {
 func (n *TolerantNode) propose(ctx simnet.Context, v graph.NodeID) {
 	n.state[v] = stProposed
 	n.pending++
+	if n.est != nil {
+		n.sentAt[v] = ctx.Time()
+	}
 	ctx.Send(v, lid.Msg{IsProp: true})
-	simnet.SetTimerOn(ctx, n.timeout, timeoutToken{To: v})
+	simnet.SetTimerOn(ctx, n.proposalTimeout(), timeoutToken{To: v})
 }
 
 // HandleMessage implements simnet.Handler.
@@ -162,6 +236,9 @@ func (n *TolerantNode) handleProp(ctx simnet.Context, from graph.NodeID, st nsta
 	case stUntouched:
 		n.state[from] = stApproached
 	case stProposed:
+		// The mutual PROP answers ours; it doubles as a response-time
+		// sample for the adaptive timeout.
+		n.observeResponse(ctx, from)
 		n.lock(ctx, from, true)
 	case stResolved:
 		// Late PROP crossing our revoke or quota-full REJ: if we never
@@ -176,6 +253,9 @@ func (n *TolerantNode) handleProp(ctx simnet.Context, from graph.NodeID, st nsta
 func (n *TolerantNode) handleRej(ctx simnet.Context, from graph.NodeID, st nstate) {
 	switch st {
 	case stProposed:
+		// A rejection is still an answer: it carries the same
+		// response-time information as an accepting PROP.
+		n.observeResponse(ctx, from)
 		n.state[from] = stResolved
 		n.unresolved--
 		n.pending--

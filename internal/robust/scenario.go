@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"overlaymatch/internal/detector"
 	"overlaymatch/internal/graph"
 	"overlaymatch/internal/matching"
 	"overlaymatch/internal/metrics"
@@ -42,7 +43,11 @@ type Scenario struct {
 	System      *pref.System
 	Adversaries map[graph.NodeID]AdversaryKind
 	Timeout     float64 // proposal timeout for honest nodes
-	CrashAfterK int     // K for AdvCrashAfter (default 5)
+	// AdaptivePhi, when positive, gives every honest node a per-node
+	// phi-accrual estimator over proposal response times
+	// (TolerantNode.SetAdaptiveTimeout); Timeout stays the hard ceiling.
+	AdaptivePhi float64
+	CrashAfterK int // K for AdvCrashAfter (default 5)
 	Options     simnet.Options
 }
 
@@ -64,7 +69,11 @@ type Outcome struct {
 	Revocations    int
 	DissolvedLocks int
 	Violations     int
-	Stats          simnet.Stats
+	// AdaptiveArms counts proposal timers armed from the response-time
+	// estimator instead of the static timeout (zero unless AdaptivePhi
+	// is set).
+	AdaptiveArms int
+	Stats        simnet.Stats
 }
 
 // Run executes the scenario on the event simulator.
@@ -83,6 +92,10 @@ func (sc Scenario) Run() (Outcome, error) {
 		kind, isAdv := sc.Adversaries[id]
 		if !isAdv {
 			n := NewTolerantNode(s, tbl, id, sc.Timeout)
+			if sc.AdaptivePhi > 0 {
+				d := detector.Default()
+				n.SetAdaptiveTimeout(detector.NewEstimator(d.Window, d.Floor), sc.AdaptivePhi)
+			}
 			honest[id] = n
 			handlers[id] = n
 			continue
@@ -120,6 +133,7 @@ func (sc Scenario) Run() (Outcome, error) {
 		out.Revocations += n.Revocations
 		out.DissolvedLocks += n.DissolvedLocks
 		out.Violations += n.Violations
+		out.AdaptiveArms += n.AdaptiveArms
 	}
 	// Honest–honest locks must be symmetric.
 	for id, n := range honest {

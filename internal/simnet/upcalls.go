@@ -1,0 +1,34 @@
+package simnet
+
+// Upcall interfaces let a transport or failure-detection layer deliver
+// out-of-band signals to the protocol handler it wraps. They are
+// optional: a wrapper type-asserts its inner handler and silently
+// drops the signal when the interface is not implemented, so existing
+// handlers keep working unchanged.
+//
+// The calls happen on the node's own delivery thread (the wrapper's
+// HandleMessage or timer), so implementations may use ctx exactly as
+// they would inside HandleMessage — including Send and SetTimer.
+
+// SuspectHandler receives failure-detector verdicts about peers. A
+// detector calls HandleSuspect when a monitored peer stops responding
+// (it may be crashed, partitioned, or merely slow — suspicion is a
+// local, revocable judgment) and HandleRestore when a suspected peer
+// is heard from again (crash-recovery). HandleRestore is invoked
+// before the message that revived the peer is delivered, so the
+// handler sees a consistent order: suspect ... restore, message.
+type SuspectHandler interface {
+	HandleSuspect(ctx Context, peer int)
+	HandleRestore(ctx Context, peer int)
+}
+
+// LinkDownHandler receives transport-level link-death escalations. A
+// reliable transport calls HandleLinkDown when it exhausts its
+// retransmission budget toward peer — the link is unusable, frames to
+// it were abandoned, and the protocol above should stop counting on
+// that neighbor. Unlike suspicion there is no automatic restore
+// signal: the transport reports again only on the next down
+// transition after traffic from the peer resumes.
+type LinkDownHandler interface {
+	HandleLinkDown(ctx Context, peer int)
+}
