@@ -3,20 +3,28 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short race race-core vet fuzz fuzz-smoke bench experiments examples cover clean
+.PHONY: all build check test test-short race race-core registry-coverage vet fuzz fuzz-smoke bench bench-json experiments examples cover clean
 
 all: build vet test
 
 # The default pre-commit gate: full build + vet + tests, plus the race
 # detector on the concurrency-bearing packages (the metrics registry,
-# both simnet runtimes, and the fault-injection explorer) and a short
-# fuzz pass over the parsers.
-check: build vet test race-core fuzz-smoke
+# both simnet runtimes, and the fault-injection explorer), the
+# experiment-registry coverage sweep, and a short fuzz pass over the
+# parsers.
+check: build vet test race-core registry-coverage fuzz-smoke
 
 # Vet first so a broken build fails fast instead of surfacing as a
-# confusing mid-run race failure.
+# confusing mid-run race failure. The dense-core packages (graph, pref,
+# satisfaction, matching, lid) are included: they share read-only CSR
+# slices across goroutines, which the race detector must keep honest.
 race-core: vet
-	$(GO) test -race -short ./internal/metrics/... ./internal/simnet/... ./internal/faults/... ./internal/detector/... ./internal/reliable/...
+	$(GO) test -race -short ./internal/metrics/... ./internal/simnet/... ./internal/faults/... ./internal/detector/... ./internal/reliable/... ./internal/graph/... ./internal/pref/... ./internal/satisfaction/... ./internal/matching/... ./internal/lid/...
+
+# Every registered experiment must still run under quick parameters —
+# catches experiments silently falling out of the registry.
+registry-coverage:
+	$(GO) test -run TestRegistryQuickCoverage -count=1 ./internal/experiments
 
 build:
 	$(GO) build ./...
@@ -46,6 +54,12 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Deterministic machine-readable benchmark trajectory: fixed seeds and
+# iteration counts, merged into BENCH_PR4.json next to any phase rows
+# already recorded there (see cmd/benchjson).
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR4.json -phase after -merge
 
 # Regenerate the validation suite (EXPERIMENTS.md's source of truth).
 experiments:

@@ -239,6 +239,23 @@ func BenchmarkScaleLIDGoroutines(b *testing.B) {
 	}
 }
 
+// BenchmarkLICLiteral: the literal Algorithm 2 with incremental
+// locally-heaviest maintenance. Regression guard for the cursor-based
+// pool: the pre-dense rescanning implementation was O(m²) and two
+// orders of magnitude slower at this size.
+func BenchmarkLICLiteral(b *testing.B) {
+	s := benchSystem(59, 2000, 8.0/1999.0, 3)
+	tbl := satisfaction.NewTable(s)
+	want := matching.LIC(s, tbl)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := matching.LICLiteral(s, tbl, rng.New(uint64(i)))
+		if !m.Equal(want) {
+			b.Fatal("LICLiteral diverged from LIC")
+		}
+	}
+}
+
 // BenchmarkWeightTable: eq.-9 weight computation for a whole graph.
 func BenchmarkWeightTable(b *testing.B) {
 	s := benchSystem(37, 2000, 8.0/1999.0, 3)

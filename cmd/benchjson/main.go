@@ -1,0 +1,187 @@
+// Command benchjson runs the core data-layer benchmarks with fixed
+// seeds and fixed iteration counts and writes the results as JSON rows
+// (ns/op, B/op, allocs/op plus headline metrics). It seeds the repo's
+// persisted perf trajectory: `make bench-json` regenerates
+// BENCH_PR4.json, and rows are tagged with a phase ("before"/"after")
+// so a representation change can commit its own measured payoff next
+// to the baseline it replaced.
+//
+// Workloads are the standard benchmark family (GNP at average degree 8,
+// seeded random metric, uniform quota 3); seeds and iteration counts
+// are fixed in code, so the workload columns (nodes, edges, matched,
+// weight) are bit-deterministic across runs and machines — only the
+// ns/op column moves with the hardware.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"overlaymatch/internal/gen"
+	"overlaymatch/internal/matching"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/rng"
+	"overlaymatch/internal/satisfaction"
+)
+
+// Row is one benchmark measurement.
+type Row struct {
+	Name       string             `json:"name"`
+	N          int                `json:"n"`
+	Phase      string             `json:"phase"`
+	Iters      int                `json:"iters"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BPerOp     float64            `json:"b_per_op"`
+	AllocsPerOp float64           `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the persisted trajectory.
+type File struct {
+	Command string `json:"command"`
+	Note    string `json:"note"`
+	Rows    []Row  `json:"rows"`
+}
+
+// benchSystem mirrors the workload of the root bench_test.go harness.
+func benchSystem(seed uint64, n int, bq int) *pref.System {
+	src := rng.New(seed)
+	p := 8.0 / float64(n-1)
+	g := gen.GNP(src, n, p)
+	s, err := pref.Build(g, pref.NewRandomMetric(src.Split()), pref.UniformQuota(bq))
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// measure times iters runs of fn after one untimed warm-up, reporting
+// per-op wall clock and allocation figures from runtime.MemStats.
+func measure(iters int, fn func()) (nsPerOp, bPerOp, allocsPerOp float64) {
+	fn() // warm-up: lazily-built caches must not bill the first iteration
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	dt := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	fi := float64(iters)
+	return float64(dt.Nanoseconds()) / fi,
+		float64(m1.TotalAlloc-m0.TotalAlloc) / fi,
+		float64(m1.Mallocs-m0.Mallocs) / fi
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR4.json", "output file")
+	phase := flag.String("phase", "after", "phase tag for the emitted rows (before|after)")
+	merge := flag.Bool("merge", true, "keep rows of other phases already in the output file")
+	flag.Parse()
+
+	var rows []Row
+	add := func(name string, n, iters int, metrics map[string]float64, fn func()) {
+		ns, b, allocs := measure(iters, fn)
+		rows = append(rows, Row{
+			Name: name, N: n, Phase: *phase, Iters: iters,
+			NsPerOp: ns, BPerOp: b, AllocsPerOp: allocs, Metrics: metrics,
+		})
+		fmt.Printf("%-12s n=%-7d %12.0f ns/op %14.0f B/op %10.1f allocs/op\n",
+			name, n, ns, b, allocs)
+	}
+
+	// Table construction and the centralized scan, the two headline
+	// targets, at three scales.
+	for _, sz := range []struct{ n, itersTable, itersLIC int }{
+		{1_000, 200, 200},
+		{10_000, 20, 20},
+		{100_000, 5, 5},
+	} {
+		s := benchSystem(uint64(1000+sz.n), sz.n, 3)
+		g := s.Graph()
+		tbl := satisfaction.NewTable(s)
+		m := matching.LIC(s, tbl)
+		met := map[string]float64{
+			"edges":   float64(g.NumEdges()),
+			"matched": float64(m.Size()),
+			"weight":  m.Weight(s),
+		}
+		add("NewTable", sz.n, sz.itersTable, met, func() {
+			_ = satisfaction.NewTable(s)
+		})
+		add("LIC", sz.n, sz.itersLIC, met, func() {
+			_ = matching.LIC(s, tbl)
+		})
+		add("PrefBuild", sz.n, max(sz.itersLIC/5, 1), map[string]float64{
+			"edges": float64(g.NumEdges()),
+		}, func() {
+			if _, err := pref.Build(g, pref.NewRandomMetric(rng.New(uint64(3000+sz.n))), pref.UniformQuota(3)); err != nil {
+				panic(err)
+			}
+		})
+	}
+
+	// The literal Algorithm-2 loop, whose pool handling is the
+	// complexity-class target (O(m²) rescans → O(m·Δ) incremental).
+	for _, sz := range []struct{ n, iters int }{
+		{1_000, 5},
+		{3_000, 2},
+	} {
+		s := benchSystem(uint64(2000+sz.n), sz.n, 3)
+		tbl := satisfaction.NewTable(s)
+		m := matching.LIC(s, tbl)
+		met := map[string]float64{
+			"edges":   float64(s.Graph().NumEdges()),
+			"matched": float64(m.Size()),
+		}
+		add("LICLiteral", sz.n, sz.iters, met, func() {
+			got := matching.LICLiteral(s, tbl, rng.New(7))
+			if !got.Equal(m) {
+				panic("benchjson: LICLiteral diverged from LIC")
+			}
+		})
+	}
+
+	file := File{
+		Command: "go run ./cmd/benchjson (make bench-json)",
+		Note:    "fixed seeds and iteration counts; workload columns are deterministic, ns/op is hardware-dependent",
+	}
+	if *merge {
+		if prev, err := os.ReadFile(*out); err == nil {
+			var old File
+			if err := json.Unmarshal(prev, &old); err == nil {
+				for _, r := range old.Rows {
+					if r.Phase != *phase {
+						file.Rows = append(file.Rows, r)
+					}
+				}
+			}
+		}
+	}
+	file.Rows = append(file.Rows, rows...)
+	sort.SliceStable(file.Rows, func(i, j int) bool {
+		a, b := file.Rows[i], file.Rows[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		return a.Phase < b.Phase // "after" sorts before "before"
+	})
+	buf, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote %s (%d rows)\n", *out, len(file.Rows))
+}

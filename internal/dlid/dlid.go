@@ -47,6 +47,7 @@ package dlid
 
 import (
 	"fmt"
+	"sort"
 
 	"overlaymatch/internal/graph"
 	"overlaymatch/internal/matching"
@@ -156,20 +157,28 @@ const (
 	Rematch
 )
 
-// Node is the per-peer maintenance state machine.
+// Node is the per-peer maintenance state machine. All per-neighbor
+// state is held in slices indexed by weight-list position — a
+// neighbor's position doubles as its preference rank — and senders are
+// located through the shared CSR index (sorted adjacency + flat
+// position table), so a node allocates no maps at all.
 type Node struct {
 	id    graph.NodeID
 	quota int
 	mode  Mode
-	order []graph.NodeID // weight list (descending)
-	rank  map[graph.NodeID]int
-	state map[graph.NodeID]*neighborState
-	alive bool
+	order []graph.NodeID // weight list (descending); index = rank
+	// neighbors is the sorted adjacency, pos the CSR-aligned weight-list
+	// position of each adjacency slot (both shared, read-only).
+	neighbors []graph.NodeID
+	pos       []int32
+	state     []neighborState // indexed by weight-list position
+	alive     bool
 
-	// Per-pair wire sequencing (see Msg.Seq). Never reset, not even
-	// across leave/rejoin, so receivers' high-water marks stay valid.
-	outSeq  map[graph.NodeID]uint32
-	lastSeq map[graph.NodeID]uint32
+	// Per-pair wire sequencing (see Msg.Seq), indexed by weight-list
+	// position. Never reset, not even across leave/rejoin, so
+	// receivers' high-water marks stay valid.
+	outSeq  []uint32
+	lastSeq []uint32
 
 	// Counters for the experiments.
 	Proposals   int
@@ -189,31 +198,51 @@ func NewNode(s *pref.System, tbl *satisfaction.Table, id graph.NodeID, initial [
 // NewNodeMode is NewNode with an explicit repair discipline.
 func NewNodeMode(s *pref.System, tbl *satisfaction.Table, id graph.NodeID, initial []graph.NodeID, mode Mode) *Node {
 	order := tbl.SortedNeighbors(s, id)
-	st := make(map[graph.NodeID]*neighborState, len(order))
-	rank := make(map[graph.NodeID]int, len(order))
-	for i, nb := range order {
-		st[nb] = &neighborState{alive: true}
-		rank[nb] = i
-	}
 	n := &Node{
-		id:      id,
-		quota:   s.Quota(id),
-		mode:    mode,
-		order:   order,
-		rank:    rank,
-		state:   st,
-		alive:   true,
-		outSeq:  make(map[graph.NodeID]uint32, len(order)),
-		lastSeq: make(map[graph.NodeID]uint32, len(order)),
+		id:        id,
+		quota:     s.Quota(id),
+		mode:      mode,
+		order:     order,
+		neighbors: s.Graph().Neighbors(id),
+		pos:       tbl.WeightListPos(s, id),
+		state:     make([]neighborState, len(order)),
+		alive:     true,
+		outSeq:    make([]uint32, len(order)),
+		lastSeq:   make([]uint32, len(order)),
+	}
+	for i := range n.state {
+		n.state[i].alive = true
 	}
 	for _, c := range initial {
-		ns, ok := st[c]
+		p, ok := n.posOf(c)
 		if !ok {
 			panic(fmt.Sprintf("dlid: initial connection %d is not a neighbor of %d", c, id))
 		}
-		ns.connected = true
+		n.state[p].connected = true
 	}
 	return n
+}
+
+// posOf locates v's weight-list position through the shared CSR index
+// (binary search in the sorted adjacency, then the flat position
+// table). Reports false if v is not a neighbor.
+func (n *Node) posOf(v graph.NodeID) (int32, bool) {
+	i := sort.SearchInts(n.neighbors, v)
+	if i >= len(n.neighbors) || n.neighbors[i] != v {
+		return 0, false
+	}
+	return n.pos[i], true
+}
+
+// neighborView returns the state record for neighbor v; it panics if v
+// is not a neighbor. Package-internal observers (the self-heal harness
+// and tests) use it where they used to index the state map.
+func (n *Node) neighborView(v graph.NodeID) *neighborState {
+	p, ok := n.posOf(v)
+	if !ok {
+		panic(fmt.Sprintf("dlid: node %d is not a neighbor of %d", v, n.id))
+	}
+	return &n.state[p]
 }
 
 // NewNodes builds all maintenance nodes seeded with matching m.
@@ -246,8 +275,8 @@ func (n *Node) Init(ctx simnet.Context) { ctx.Halt() }
 // connectionsHeld counts current connections.
 func (n *Node) connectionsHeld() int {
 	c := 0
-	for _, ns := range n.state {
-		if ns.connected {
+	for i := range n.state {
+		if n.state[i].connected {
 			c++
 		}
 	}
@@ -257,8 +286,8 @@ func (n *Node) connectionsHeld() int {
 // pendingOut counts outstanding proposals.
 func (n *Node) pendingOut() int {
 	c := 0
-	for _, ns := range n.state {
-		if ns.pending {
+	for i := range n.state {
+		if n.state[i].pending {
 			c++
 		}
 	}
@@ -271,15 +300,16 @@ func (n *Node) freeSlots() int {
 }
 
 // sendMsg stamps the per-pair sequence number and sends an unversioned
-// message (node-level kinds, and everything in Complete mode).
-func (n *Node) sendMsg(ctx simnet.Context, to graph.NodeID, k wireKind) {
-	n.sendMsgVer(ctx, to, k, 0)
+// message (node-level kinds, and everything in Complete mode). The
+// recipient is addressed by weight-list position.
+func (n *Node) sendMsg(ctx simnet.Context, toPos int32, k wireKind) {
+	n.sendMsgVer(ctx, toPos, k, 0)
 }
 
 // sendMsgVer is sendMsg with an explicit pair incarnation version.
-func (n *Node) sendMsgVer(ctx simnet.Context, to graph.NodeID, k wireKind, ver uint32) {
-	n.outSeq[to]++
-	ctx.Send(to, Msg{K: k, Seq: n.outSeq[to], Ver: ver})
+func (n *Node) sendMsgVer(ctx simnet.Context, toPos int32, k wireKind, ver uint32) {
+	n.outSeq[toPos]++
+	ctx.Send(n.order[toPos], Msg{K: k, Seq: n.outSeq[toPos], Ver: ver})
 }
 
 // HandleMessage implements simnet.Handler.
@@ -299,17 +329,18 @@ func (n *Node) HandleMessage(ctx simnet.Context, from int, msg simnet.Message) {
 	if !ok {
 		panic(fmt.Sprintf("dlid: node %d received %T", n.id, msg))
 	}
-	ns, known := n.state[from]
+	p, known := n.posOf(from)
 	if !known {
 		panic(fmt.Sprintf("dlid: node %d received message from non-neighbor %d", n.id, from))
 	}
+	ns := &n.state[p]
 	if n.mode == Rematch && m.Seq != 0 {
 		// Enforce lossy-FIFO per pair: a message overtaken by a newer
 		// one from the same sender is superseded state — discard it.
-		if m.Seq <= n.lastSeq[from] {
+		if m.Seq <= n.lastSeq[p] {
 			return
 		}
-		n.lastSeq[from] = m.Seq
+		n.lastSeq[p] = m.Seq
 		// Merge the pair version counter so fresh proposals always draw
 		// versions above everything either side has used.
 		if m.Ver > ns.ver {
@@ -318,19 +349,19 @@ func (n *Node) HandleMessage(ctx simnet.Context, from int, msg simnet.Message) {
 	}
 	switch m.K {
 	case kBye:
-		n.onBye(ctx, from, ns)
+		n.onBye(ctx, p)
 	case kHello:
-		n.onHello(ctx, from, ns)
+		n.onHello(ctx, p)
 	case kHelloAck:
-		n.onHelloAck(ctx, from, ns)
+		n.onHelloAck(ctx, p)
 	case kProp:
-		n.onProp(ctx, from, ns, m.Ver)
+		n.onProp(ctx, p, m.Ver)
 	case kAccept:
-		n.onAccept(ctx, from, ns, m.Ver)
+		n.onAccept(ctx, p, m.Ver)
 	case kDecline:
-		n.onDecline(ctx, from, ns, m.Ver)
+		n.onDecline(ctx, p, m.Ver)
 	case kDrop:
-		n.onDrop(ctx, from, ns, m.Ver)
+		n.onDrop(ctx, p, m.Ver)
 	}
 }
 
@@ -353,12 +384,12 @@ func (n *Node) peerDown(ctx simnet.Context, peer graph.NodeID) {
 	if !n.alive {
 		return
 	}
-	ns, ok := n.state[peer]
-	if !ok || !ns.alive {
+	p, ok := n.posOf(peer)
+	if !ok || !n.state[p].alive {
 		return // not a neighbor, or already mourned
 	}
 	n.SynthByes++
-	n.onBye(ctx, peer, ns)
+	n.onBye(ctx, p)
 }
 
 // HandleRestore implements simnet.SuspectHandler: a previously
@@ -373,16 +404,17 @@ func (n *Node) HandleRestore(ctx simnet.Context, peer int) {
 	if !n.alive {
 		return
 	}
-	ns, ok := n.state[peer]
-	if !ok || ns.alive {
+	p, ok := n.posOf(peer)
+	if !ok || n.state[p].alive {
 		return // not a neighbor, or never mourned (no resync needed)
 	}
+	ns := &n.state[p]
 	n.Resyncs++
 	ns.connected = false
 	ns.pending = false
 	ns.declined = false
 	ns.waiting = false
-	n.sendMsg(ctx, peer, kHello)
+	n.sendMsg(ctx, p, kHello)
 }
 
 // leave processes a CmdLeave.
@@ -391,10 +423,10 @@ func (n *Node) leave(ctx simnet.Context) {
 		panic(fmt.Sprintf("dlid: CmdLeave to dead node %d", n.id))
 	}
 	n.alive = false
-	for _, nb := range n.order { // weight-list order: deterministic
-		ns := n.state[nb]
+	for i := range n.order { // weight-list order: deterministic
+		ns := &n.state[i]
 		if ns.alive {
-			n.sendMsg(ctx, nb, kBye)
+			n.sendMsg(ctx, int32(i), kBye)
 		}
 		// Reset the local view; it is rebuilt on rejoin.
 		ns.connected = false
@@ -410,8 +442,8 @@ func (n *Node) join(ctx simnet.Context) {
 		panic(fmt.Sprintf("dlid: CmdJoin to alive node %d", n.id))
 	}
 	n.alive = true
-	for _, nb := range n.order { // weight-list order: deterministic
-		ns := n.state[nb]
+	for i := range n.order { // weight-list order: deterministic
+		ns := &n.state[i]
 		// Optimistically greet everyone; dead neighbors ignore it. The
 		// alive view is rebuilt from HELLO-ACKs.
 		ns.alive = false
@@ -419,12 +451,13 @@ func (n *Node) join(ctx simnet.Context) {
 		ns.pending = false
 		ns.declined = false
 		ns.waiting = false
-		n.sendMsg(ctx, nb, kHello)
+		n.sendMsg(ctx, int32(i), kHello)
 	}
 }
 
 // onBye: the neighbor left.
-func (n *Node) onBye(ctx simnet.Context, from graph.NodeID, ns *neighborState) {
+func (n *Node) onBye(ctx simnet.Context, p int32) {
+	ns := &n.state[p]
 	freed := ns.connected
 	hadPending := ns.pending
 	ns.alive = false
@@ -448,14 +481,15 @@ func (n *Node) onBye(ctx simnet.Context, from graph.NodeID, ns *neighborState) {
 // outage (HandleRestore). The reset may free a connection we still
 // believed in — one-sided suspicion leaves exactly that asymmetry —
 // in which case the regained capacity opens a full repair epoch.
-func (n *Node) onHello(ctx simnet.Context, from graph.NodeID, ns *neighborState) {
+func (n *Node) onHello(ctx simnet.Context, p int32) {
+	ns := &n.state[p]
 	freed := ns.connected
 	ns.alive = true
 	ns.connected = false
 	ns.pending = false
 	ns.declined = false
 	ns.waiting = false
-	n.sendMsg(ctx, from, kHelloAck)
+	n.sendMsg(ctx, p, kHelloAck)
 	if freed {
 		n.newEpoch(ctx)
 		return
@@ -465,8 +499,8 @@ func (n *Node) onHello(ctx simnet.Context, from graph.NodeID, ns *neighborState)
 }
 
 // onHelloAck: our HELLO was answered; the sender is alive.
-func (n *Node) onHelloAck(ctx simnet.Context, from graph.NodeID, ns *neighborState) {
-	ns.alive = true
+func (n *Node) onHelloAck(ctx simnet.Context, p int32) {
+	n.state[p].alive = true
 	n.proposeMore(ctx)
 }
 
@@ -477,7 +511,8 @@ func (n *Node) onHelloAck(ctx simnet.Context, from graph.NodeID, ns *neighborSta
 // that every connection is confirmed by an explicit ACCEPT in at
 // least one direction, and ACCEPTs for already-connected pairs are
 // idempotent.
-func (n *Node) onProp(ctx simnet.Context, from graph.NodeID, ns *neighborState, p uint32) {
+func (n *Node) onProp(ctx simnet.Context, fromPos int32, p uint32) {
+	ns := &n.state[fromPos]
 	ns.alive = true
 	if ns.connected {
 		if n.mode == Rematch && p < ns.connVer {
@@ -493,7 +528,7 @@ func (n *Node) onProp(ctx simnet.Context, from graph.NodeID, ns *neighborState, 
 		if p > ns.connVer {
 			ns.connVer = p
 		}
-		n.sendMsgVer(ctx, from, kAccept, p)
+		n.sendMsgVer(ctx, fromPos, kAccept, p)
 		return
 	}
 	if ns.pending {
@@ -510,7 +545,7 @@ func (n *Node) onProp(ctx simnet.Context, from graph.NodeID, ns *neighborState, 
 			ns.connVer = p
 		}
 		n.Accepts++
-		n.sendMsgVer(ctx, from, kAccept, p)
+		n.sendMsgVer(ctx, fromPos, kAccept, p)
 		if n.mode == Rematch {
 			n.enforceQuota(ctx)
 			n.proposeMore(ctx)
@@ -526,26 +561,26 @@ func (n *Node) onProp(ctx simnet.Context, from graph.NodeID, ns *neighborState, 
 			ns.connected = true
 			ns.connVer = p
 			n.Accepts++
-			n.sendMsgVer(ctx, from, kAccept, p)
+			n.sendMsgVer(ctx, fromPos, kAccept, p)
 			return
 		}
-		if worst, ok := n.worstConnected(); ok && n.rank[from] < n.rank[worst] {
-			n.dropConnection(ctx, worst)
+		if worstPos, ok := n.worstConnected(); ok && fromPos < worstPos {
+			n.dropConnection(ctx, worstPos)
 			ns.connected = true
 			ns.connVer = p
 			n.Accepts++
-			n.sendMsgVer(ctx, from, kAccept, p)
+			n.sendMsgVer(ctx, fromPos, kAccept, p)
 			return
 		}
 		n.Declines++
 		ns.waiting = true
-		n.sendMsgVer(ctx, from, kDecline, p)
+		n.sendMsgVer(ctx, fromPos, kDecline, p)
 		return
 	}
 	if n.quota-n.connectionsHeld()-n.pendingOut() > 0 {
 		ns.connected = true
 		n.Accepts++
-		n.sendMsgVer(ctx, from, kAccept, p)
+		n.sendMsgVer(ctx, fromPos, kAccept, p)
 		return
 	}
 	n.Declines++
@@ -554,11 +589,12 @@ func (n *Node) onProp(ctx simnet.Context, from graph.NodeID, ns *neighborState, 
 	// mutually-declined peers can both end up free — a maximality
 	// hole).
 	ns.waiting = true
-	n.sendMsgVer(ctx, from, kDecline, p)
+	n.sendMsgVer(ctx, fromPos, kDecline, p)
 }
 
 // onAccept: our proposal succeeded.
-func (n *Node) onAccept(ctx simnet.Context, from graph.NodeID, ns *neighborState, v uint32) {
+func (n *Node) onAccept(ctx simnet.Context, p int32, v uint32) {
+	ns := &n.state[p]
 	if ns.connected {
 		if v > ns.connVer {
 			ns.connVer = v // late confirmation of a newer incarnation
@@ -593,7 +629,7 @@ func (n *Node) onAccept(ctx simnet.Context, from graph.NodeID, ns *neighborState
 		// (the Complete-mode rule) would freeze that asymmetry — revoke
 		// exactly that incarnation instead. If the peer has since moved
 		// to a newer one, the version makes our revocation a no-op.
-		n.sendMsgVer(ctx, from, kDrop, v)
+		n.sendMsgVer(ctx, p, kDrop, v)
 	}
 	// Stale ACCEPT (e.g. confirmation of an old state); ignore.
 }
@@ -603,7 +639,8 @@ func (n *Node) onAccept(ctx simnet.Context, from graph.NodeID, ns *neighborState
 // epoch opens — but the dropper just proved it is full with peers it
 // prefers over us, so it is marked declined for this epoch to avoid a
 // pointless immediate re-proposal.
-func (n *Node) onDrop(ctx simnet.Context, from graph.NodeID, ns *neighborState, v uint32) {
+func (n *Node) onDrop(ctx simnet.Context, p int32, v uint32) {
+	ns := &n.state[p]
 	if ns.pending {
 		if v < ns.pendVer {
 			// Revokes an incarnation older than our live proposal (a
@@ -628,15 +665,16 @@ func (n *Node) onDrop(ctx simnet.Context, from graph.NodeID, ns *neighborState, 
 		return // revokes an incarnation we have since replaced
 	}
 	ns.connected = false
-	for _, nb := range n.order {
-		n.state[nb].declined = false
+	for i := range n.state {
+		n.state[i].declined = false
 	}
 	ns.declined = true
 	n.proposeMore(ctx)
 }
 
 // onDecline: advance to the next candidate.
-func (n *Node) onDecline(ctx simnet.Context, from graph.NodeID, ns *neighborState, v uint32) {
+func (n *Node) onDecline(ctx simnet.Context, p int32, v uint32) {
+	ns := &n.state[p]
 	if !ns.pending || v != ns.pendVer {
 		return // stale, or answers an older proposal than the live one
 	}
@@ -647,8 +685,8 @@ func (n *Node) onDecline(ctx simnet.Context, from graph.NodeID, ns *neighborStat
 
 // newEpoch clears declined memory and proposes afresh.
 func (n *Node) newEpoch(ctx simnet.Context) {
-	for _, nb := range n.order {
-		n.state[nb].declined = false
+	for i := range n.state {
+		n.state[i].declined = false
 	}
 	n.proposeMore(ctx)
 }
@@ -669,11 +707,11 @@ func (n *Node) proposeMore(ctx simnet.Context) {
 	if free <= 0 {
 		return
 	}
-	for _, nb := range n.order {
+	for i := range n.order {
 		if free == 0 {
 			return
 		}
-		ns := n.state[nb]
+		ns := &n.state[i]
 		if !ns.alive || ns.connected || ns.pending {
 			continue
 		}
@@ -686,7 +724,7 @@ func (n *Node) proposeMore(ctx simnet.Context) {
 		ns.pending = true
 		ns.waiting = false
 		n.Proposals++
-		n.sendMsg(ctx, nb, kProp)
+		n.sendMsg(ctx, int32(i), kProp)
 		free--
 	}
 }
@@ -698,11 +736,11 @@ func (n *Node) proposeMore(ctx simnet.Context) {
 // even when the quota is full — acceptance there preempts the worst.
 func (n *Node) proposeRematch(ctx simnet.Context) {
 	budget := n.quota
-	for _, nb := range n.order {
+	for i := range n.order {
 		if budget <= 0 {
 			return
 		}
-		ns := n.state[nb]
+		ns := &n.state[i]
 		if ns.connected || ns.pending {
 			budget--
 			continue
@@ -718,16 +756,17 @@ func (n *Node) proposeRematch(ctx simnet.Context) {
 		ns.ver++
 		ns.pendVer = ns.ver
 		n.Proposals++
-		n.sendMsgVer(ctx, nb, kProp, ns.pendVer)
+		n.sendMsgVer(ctx, int32(i), kProp, ns.pendVer)
 		budget--
 	}
 }
 
-// worstConnected returns the lowest-ranked current connection.
-func (n *Node) worstConnected() (graph.NodeID, bool) {
-	for i := len(n.order) - 1; i >= 0; i-- {
-		if n.state[n.order[i]].connected {
-			return n.order[i], true
+// worstConnected returns the weight-list position of the
+// lowest-ranked current connection.
+func (n *Node) worstConnected() (int32, bool) {
+	for i := len(n.state) - 1; i >= 0; i-- {
+		if n.state[i].connected {
+			return int32(i), true
 		}
 	}
 	return 0, false
@@ -736,11 +775,11 @@ func (n *Node) worstConnected() (graph.NodeID, bool) {
 // dropConnection preempts the connection to nb, notifying it. The DROP
 // names the revoked incarnation so a crossing re-formation under a
 // newer version is immune to it.
-func (n *Node) dropConnection(ctx simnet.Context, nb graph.NodeID) {
-	ns := n.state[nb]
+func (n *Node) dropConnection(ctx simnet.Context, p int32) {
+	ns := &n.state[p]
 	ns.connected = false
 	n.Preemptions++
-	n.sendMsgVer(ctx, nb, kDrop, ns.connVer)
+	n.sendMsgVer(ctx, p, kDrop, ns.connVer)
 }
 
 // enforceQuota sheds worst connections until the quota holds again
@@ -761,8 +800,8 @@ func (n *Node) Alive() bool { return n.alive }
 // Connections returns the node's current connections.
 func (n *Node) Connections() []graph.NodeID {
 	var out []graph.NodeID
-	for _, nb := range n.order {
-		if n.state[nb].connected {
+	for i, nb := range n.order {
+		if n.state[i].connected {
 			out = append(out, nb)
 		}
 	}

@@ -150,7 +150,7 @@ func extractLiveExcluding(s *pref.System, nodes []*Node, excluded map[graph.Node
 			}
 			if nd.id < v {
 				m.Add(nd.id, v)
-			} else if !nodes[v].state[nd.id].connected {
+			} else if !nodes[v].neighborView(nd.id).connected {
 				return nil, fmt.Errorf("dlid: asymmetric connection %d-%d", nd.id, v)
 			}
 		}

@@ -64,7 +64,7 @@ func TestPeerDownUpcalls(t *testing.T) {
 	if nodes[u].SynthByes != 1 {
 		t.Fatalf("SynthByes = %d, want 1", nodes[u].SynthByes)
 	}
-	if nodes[u].state[peer].connected || nodes[u].state[peer].alive {
+	if nv := nodes[u].neighborView(peer); nv.connected || nv.alive {
 		t.Fatal("suspected peer still held")
 	}
 	// A second verdict for the same outage (e.g. LinkDown after the

@@ -62,3 +62,65 @@ func FuzzGraphJSON(f *testing.F) {
 		}
 	})
 }
+
+// FuzzEdgeIndexRoundTrip: the CSR edge index must stay consistent with
+// the adjacency view for arbitrary graphs. The input bytes are decoded
+// as a node count plus a sequence of endpoint pairs (self loops and
+// duplicates are dropped by the builder), and every public index
+// accessor is cross-checked against every other.
+func FuzzEdgeIndexRoundTrip(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 1, 2})
+	f.Add([]byte{1})
+	f.Add([]byte{5, 0, 4, 4, 0, 2, 2})
+	f.Add([]byte{8, 0, 1, 0, 2, 0, 3, 1, 2, 6, 7})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0])%64 + 1
+		b := NewBuilder(n)
+		for i := 1; i+1 < len(data); i += 2 {
+			u, v := NodeID(data[i])%n, NodeID(data[i+1])%n
+			if u != v && !b.HasEdge(u, v) {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.MustGraph()
+		seen := make([]bool, g.NumEdges())
+		for u := 0; u < n; u++ {
+			inc := g.IncidentEdges(u)
+			adj := g.Neighbors(u)
+			if len(inc) != len(adj) {
+				t.Fatalf("node %d: %d incident edges, %d neighbors", u, len(inc), len(adj))
+			}
+			if int(g.IncidenceOffset(u+1)-g.IncidenceOffset(u)) != len(adj) {
+				t.Fatalf("node %d: offset span disagrees with degree", u)
+			}
+			for k, id := range inc {
+				v := adj[k]
+				e := g.EdgeByID(id)
+				if e.Other(u) != v || g.OtherEndpoint(id, u) != v {
+					t.Fatalf("edge %d at slot (%d,%d): %v does not join them", id, u, k, e)
+				}
+				if got, ok := g.EdgeIDOf(u, v); !ok || got != id {
+					t.Fatalf("EdgeIDOf(%d,%d) = %d,%v, want %d", u, v, got, ok, id)
+				}
+				if k2, ok := g.NeighborIndex(u, v); !ok || k2 != k {
+					t.Fatalf("NeighborIndex(%d,%d) = %d,%v, want %d", u, v, k2, ok, k)
+				}
+				seen[id] = true
+			}
+		}
+		for id, ok := range seen {
+			if !ok {
+				t.Fatalf("edge %d missing from every incidence list", id)
+			}
+		}
+		for id, e := range g.Edges() {
+			if e2 := g.EdgeByID(EdgeID(id)); e2 != e {
+				t.Fatalf("EdgeByID(%d) = %v, Edges()[%d] = %v", id, e2, id, e)
+			}
+		}
+	})
+}

@@ -15,6 +15,13 @@ import (
 // 0..n-1; algorithms rely on this density to use slices instead of maps.
 type NodeID = int
 
+// EdgeID is the dense identifier of an edge: edges of a Graph with m
+// edges are exactly 0..m-1, numbered in canonical lexicographic order
+// (the order of Edges()). Hot paths index flat arrays by EdgeID instead
+// of keying maps by Edge; int32 keeps edge-indexed tables compact (the
+// model's graphs are overlays, far below 2³¹ edges).
+type EdgeID = int32
+
 // Edge is an undirected edge between two distinct nodes. The canonical
 // form has U < V; Normalize establishes it.
 type Edge struct {
@@ -50,7 +57,14 @@ func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
 type Graph struct {
 	n     int
 	adj   [][]NodeID // adj[u] sorted ascending
-	edges []Edge     // canonical, sorted lexicographically
+	edges []Edge     // canonical, sorted lexicographically; index = EdgeID
+
+	// CSR incidence: inc[incOff[u]:incOff[u+1]] are the EdgeIDs of the
+	// edges incident to u, aligned with adj[u] (inc entry k is the edge
+	// {u, adj[u][k]}). One offsets+ids pair serves the whole graph; the
+	// per-node views are subslices, never copies.
+	incOff []int32
+	inc    []EdgeID
 }
 
 // NumNodes returns the number of nodes.
@@ -72,12 +86,59 @@ func (g *Graph) Edges() []Edge { return g.edges }
 
 // HasEdge reports whether {u,v} is an edge. Runs in O(log deg(u)).
 func (g *Graph) HasEdge(u, v NodeID) bool {
+	_, ok := g.NeighborIndex(u, v)
+	return ok
+}
+
+// NeighborIndex returns v's position in u's sorted neighbor list, and
+// whether v is a neighbor of u at all. The position is the shared
+// index all CSR-aligned per-node arrays use (adjacency, incidence,
+// preference ranks, weight-list positions). Runs in O(log deg(u)).
+func (g *Graph) NeighborIndex(u, v NodeID) (int, bool) {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
-		return false
+		return 0, false
 	}
 	a := g.adj[u]
 	i := sort.SearchInts(a, v)
-	return i < len(a) && a[i] == v
+	if i < len(a) && a[i] == v {
+		return i, true
+	}
+	return 0, false
+}
+
+// IncidentEdges returns the EdgeIDs of the edges incident to u, aligned
+// with Neighbors(u): entry k is the edge {u, Neighbors(u)[k]}. The
+// slice is a view into the graph's shared CSR arrays and must not be
+// modified.
+func (g *Graph) IncidentEdges(u NodeID) []EdgeID {
+	return g.inc[g.incOff[u]:g.incOff[u+1]]
+}
+
+// IncidenceOffset returns the start of u's slot in the graph's shared
+// CSR arrays: a per-node array flattened over all nodes in CSR layout
+// stores node u's entry for neighbor position k at
+// IncidenceOffset(u)+k. Packages pref and satisfaction lay their rank
+// and weight-list tables out this way.
+func (g *Graph) IncidenceOffset(u NodeID) int32 { return g.incOff[u] }
+
+// EdgeByID returns the canonical edge with the given dense id. It
+// panics if the id is out of range.
+func (g *Graph) EdgeByID(id EdgeID) Edge { return g.edges[id] }
+
+// EdgeIDOf returns the dense id of edge {u,v} and whether the edge
+// exists. Runs in O(log deg(u)).
+func (g *Graph) EdgeIDOf(u, v NodeID) (EdgeID, bool) {
+	k, ok := g.NeighborIndex(u, v)
+	if !ok {
+		return 0, false
+	}
+	return g.inc[g.incOff[u]+int32(k)], true
+}
+
+// OtherEndpoint returns the endpoint of edge id that is not x. It
+// panics if x is not an endpoint.
+func (g *Graph) OtherEndpoint(id EdgeID, x NodeID) NodeID {
+	return g.edges[id].Other(x)
 }
 
 // MaxDegree returns the maximum degree over all nodes (0 for an empty
@@ -297,15 +358,30 @@ func (b *Builder) Graph() (*Graph, error) {
 		deg[e.U]++
 		deg[e.V]++
 	}
-	for u := range g.adj {
-		g.adj[u] = make([]NodeID, 0, deg[u])
+	// One flat buffer per array (adjacency, incidence); per-node views
+	// are subslices. A single pass over the lexicographically sorted
+	// edge list appends each node's neighbors in ascending order — the
+	// V-side entries (U < v, by ascending U) all precede the U-side
+	// entries (V > v, by ascending V) — so no per-node sort is needed
+	// and inc stays aligned with adj by construction.
+	g.incOff = make([]int32, b.n+1)
+	for u := 0; u < b.n; u++ {
+		g.incOff[u+1] = g.incOff[u] + int32(deg[u])
 	}
-	for _, e := range g.edges {
-		g.adj[e.U] = append(g.adj[e.U], e.V)
-		g.adj[e.V] = append(g.adj[e.V], e.U)
+	adjBuf := make([]NodeID, 2*len(g.edges))
+	g.inc = make([]EdgeID, 2*len(g.edges))
+	cursor := make([]int32, b.n)
+	copy(cursor, g.incOff[:b.n])
+	for id, e := range g.edges {
+		adjBuf[cursor[e.U]] = e.V
+		g.inc[cursor[e.U]] = EdgeID(id)
+		cursor[e.U]++
+		adjBuf[cursor[e.V]] = e.U
+		g.inc[cursor[e.V]] = EdgeID(id)
+		cursor[e.V]++
 	}
 	for u := range g.adj {
-		sort.Ints(g.adj[u])
+		g.adj[u] = adjBuf[g.incOff[u]:g.incOff[u+1]:g.incOff[u+1]]
 	}
 	return g, nil
 }

@@ -25,6 +25,7 @@ package lid
 
 import (
 	"fmt"
+	"sort"
 
 	"overlaymatch/internal/graph"
 	"overlaymatch/internal/matching"
@@ -74,11 +75,15 @@ type Node struct {
 	// order is the weight list: neighbors in decreasing eq.-9 edge
 	// weight, the proposal order of the algorithm (shared, read-only).
 	order []graph.NodeID
-	// idx maps a neighbor to its position in order (shared, read-only);
-	// state is this node's per-neighbor protocol state, indexed by that
-	// position. The split keeps per-run allocations to one small slice.
-	idx   map[graph.NodeID]int32
-	state []nstate
+	// neighbors is the sorted adjacency and pos its CSR-aligned
+	// weight-list position table (both shared, read-only): a sender is
+	// located by binary search in neighbors, and pos maps that
+	// adjacency slot to the position in order. state is this node's
+	// per-neighbor protocol state, indexed by order position. The split
+	// keeps per-run allocations to one small slice — no per-node map.
+	neighbors []graph.NodeID
+	pos       []int32
+	state     []nstate
 
 	cursor     int // next index in order to consider for a proposal
 	unresolved int // |U|
@@ -106,12 +111,13 @@ func NewNodeRestricted(s *pref.System, tbl *satisfaction.Table, id graph.NodeID,
 		id:         id,
 		quota:      quota,
 		order:      order,
-		idx:        tbl.NeighborIndexMap(s, id),
+		neighbors:  s.Graph().Neighbors(id),
+		pos:        tbl.WeightListPos(s, id),
 		state:      make([]nstate, len(order)),
 		unresolved: len(order),
 	}
 	for nb := range exclude {
-		pos, ok := n.idx[nb]
+		pos, ok := n.orderPos(nb)
 		if !ok {
 			panic(fmt.Sprintf("lid: excluded node %d is not a neighbor of %d", nb, id))
 		}
@@ -121,6 +127,17 @@ func NewNodeRestricted(s *pref.System, tbl *satisfaction.Table, id graph.NodeID,
 		n.unresolved--
 	}
 	return n
+}
+
+// orderPos locates v's position in the weight list through the shared
+// CSR index: binary search in the sorted adjacency, then the flat
+// position table. Reports false if v is not a neighbor.
+func (n *Node) orderPos(v graph.NodeID) (int32, bool) {
+	i := sort.SearchInts(n.neighbors, v)
+	if i >= len(n.neighbors) || n.neighbors[i] != v {
+		return 0, false
+	}
+	return n.pos[i], true
 }
 
 // NewNodes builds one Node per graph node.
@@ -171,27 +188,27 @@ func (n *Node) HandleMessage(ctx simnet.Context, from int, msg simnet.Message) {
 	if !ok {
 		panic(fmt.Sprintf("lid: node %d received non-LID message %T", n.id, msg))
 	}
-	pos, known := n.idx[from]
+	pos, known := n.orderPos(from)
 	if !known {
 		panic(fmt.Sprintf("lid: node %d received message from non-neighbor %d", n.id, from))
 	}
 	st := n.state[pos]
 	if m.IsProp {
-		n.handleProp(ctx, from, st)
+		n.handleProp(ctx, from, pos, st)
 	} else {
-		n.handleRej(ctx, from, st)
+		n.handleRej(ctx, from, pos, st)
 	}
 	n.checkDone(ctx)
 }
 
 // handleProp processes a PROP from `from` (Algorithm 1, lines 6, 12–14).
-func (n *Node) handleProp(ctx simnet.Context, from graph.NodeID, st nstate) {
+func (n *Node) handleProp(ctx simnet.Context, from graph.NodeID, pos int32, st nstate) {
 	switch st {
 	case stUntouched:
-		n.state[n.idx[from]] = stApproached // join A; answered later
+		n.state[pos] = stApproached // join A; answered later
 	case stProposed:
 		// Mutual PROP: lock at once (line 12).
-		n.lock(ctx, from, true)
+		n.lock(ctx, from, pos, true)
 	case stWeRejected:
 		// Their PROP crossed our quota-full REJ in flight; it is
 		// already answered — ignore.
@@ -207,18 +224,18 @@ func (n *Node) handleProp(ctx simnet.Context, from graph.NodeID, st nstate) {
 }
 
 // handleRej processes a REJ from `from` (Algorithm 1, lines 7–11).
-func (n *Node) handleRej(ctx simnet.Context, from graph.NodeID, st nstate) {
+func (n *Node) handleRej(ctx simnet.Context, from graph.NodeID, pos int32, st nstate) {
 	switch st {
 	case stProposed:
 		// Explicit decline of our proposal: resolve and send exactly
 		// one replacement proposal (lines 8–11).
-		n.state[n.idx[from]] = stRejectedUs
+		n.state[pos] = stRejectedUs
 		n.unresolved--
 		n.pending--
 		n.proposeNext(ctx)
 	case stUntouched:
 		// They filled their quota before we ever talked: resolve.
-		n.state[n.idx[from]] = stRejectedUs
+		n.state[pos] = stRejectedUs
 		n.unresolved--
 	case stWeRejected:
 		// Crossing broadcasts: both quotas filled independently and the
@@ -251,7 +268,7 @@ func (n *Node) proposeNext(ctx simnet.Context) {
 			// They already proposed to us: our PROP completes the
 			// mutual pair; send it and lock immediately.
 			ctx.Send(v, propMsg)
-			n.lock(ctx, v, false)
+			n.lock(ctx, v, int32(pos), false)
 			return
 		default:
 			// Resolved while waiting; skip.
@@ -262,8 +279,8 @@ func (n *Node) proposeNext(ctx simnet.Context) {
 // lock moves `from` into K (line 12–14). fromProposed says whether the
 // neighbor was counted in pending (stProposed) or not (stApproached
 // being answered by our own proposal).
-func (n *Node) lock(ctx simnet.Context, from graph.NodeID, fromProposed bool) {
-	n.state[n.idx[from]] = stLocked
+func (n *Node) lock(ctx simnet.Context, from graph.NodeID, pos int32, fromProposed bool) {
+	n.state[pos] = stLocked
 	n.unresolved--
 	if fromProposed {
 		n.pending--

@@ -1,8 +1,7 @@
 package matching
 
 import (
-	"slices"
-	"sort"
+	"math/bits"
 
 	"overlaymatch/internal/graph"
 	"overlaymatch/internal/pref"
@@ -20,25 +19,26 @@ import (
 // matching in O(m log m).
 func LIC(s *pref.System, tbl *satisfaction.Table) *Matching {
 	g := s.Graph()
-	keys := make([]satisfaction.WeightKey, 0, g.NumEdges())
-	for _, e := range g.Edges() {
-		keys = append(keys, tbl.Key(e.U, e.V))
+	// Sort dense EdgeIDs, not WeightKey structs, and by the table's
+	// packed order keys rather than a comparison function: a stable LSD
+	// radix pass is O(m) and ties (equal weights) keep ascending EdgeID
+	// order, which is exactly the canonical-endpoint tiebreak of
+	// WeightKey.Heavier.
+	ids := make([]graph.EdgeID, g.NumEdges())
+	for i := range ids {
+		ids[i] = graph.EdgeID(i)
 	}
-	slices.SortFunc(keys, func(a, b satisfaction.WeightKey) int {
-		if a.Heavier(b) {
-			return -1
-		}
-		return 1
-	})
+	sortByOrderKey(ids, tbl.OrderKeys())
 	counter := make([]int, g.NumNodes())
 	for i := range counter {
 		counter[i] = s.Quota(i)
 	}
-	m := New(g.NumNodes())
-	for _, k := range keys {
-		e := k.Edge()
+	m := NewDense(g)
+	m.preallocate(s)
+	for _, id := range ids {
+		e := g.EdgeByID(id)
 		if counter[e.U] > 0 && counter[e.V] > 0 {
-			m.Add(e.U, e.V)
+			m.addEdgeID(id, e)
 			counter[e.U]--
 			counter[e.V]--
 		}
@@ -46,36 +46,149 @@ func LIC(s *pref.System, tbl *satisfaction.Table) *Matching {
 	return m
 }
 
+// sortByOrderKey stable-sorts ids ascending by ord[id] (heaviest edge
+// first — see satisfaction.Table.OrderKeys) with an LSD radix sort:
+// 8-bit digits, one counting pass each, skipping digits on which all
+// keys agree. Stability plus the ascending initial order makes equal
+// keys come out in ascending EdgeID order.
+func sortByOrderKey(ids []graph.EdgeID, ord []uint64) {
+	if len(ids) < 2 {
+		return
+	}
+	src, dst := ids, make([]graph.EdgeID, len(ids))
+	var counts [256]int
+	for shift := 0; shift < 64; shift += 8 {
+		counts = [256]int{}
+		for _, id := range src {
+			counts[(ord[id]>>shift)&0xff]++
+		}
+		if counts[(ord[src[0]]>>shift)&0xff] == len(src) {
+			continue // all keys share this digit
+		}
+		sum := 0
+		for i, c := range counts {
+			counts[i] = sum
+			sum += c
+		}
+		for _, id := range src {
+			d := (ord[id] >> shift) & 0xff
+			dst[counts[d]] = id
+			counts[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &ids[0] {
+		copy(ids, src)
+	}
+}
+
 // LICLiteral runs Algorithm 2 exactly as printed: maintain the edge
 // pool P, repeatedly take *a* locally heaviest edge (chosen uniformly
 // at random among all currently locally heaviest ones, driven by src),
 // add it to the matching, decrement the endpoint counters, and drop all
-// edges of saturated nodes. It is O(m²) and exists to witness Lemma 6:
-// for any selection order the outcome equals LIC's.
+// edges of saturated nodes. It exists to witness Lemma 6: for any
+// selection order the outcome equals LIC's.
+//
+// The pool is maintained incrementally instead of rescanned: each node
+// keeps a cursor into its weight-ordered incident-edge list (the
+// table's SortedIncident), pointing at its heaviest still-pooled edge,
+// and an edge is locally heaviest exactly when both endpoint cursors
+// point at it. Cursors only ever advance, so total maintenance is
+// O(Σ deg) = O(m) plus a bitset rank per selection — O(m·Δ) overall
+// where the per-call rescan loop was O(m²). Candidate selection order
+// (ascending EdgeID = canonical lexicographic) and rng consumption are
+// identical to the rescanning version, so outcomes are bit-identical.
 func LICLiteral(s *pref.System, tbl *satisfaction.Table, src *rng.Source) *Matching {
 	g := s.Graph()
-	pool := make(map[graph.Edge]struct{}, g.NumEdges())
-	for _, e := range g.Edges() {
-		pool[e] = struct{}{}
+	nEdges := g.NumEdges()
+	words := (nEdges + 63) / 64
+	alive := make([]uint64, words)
+	for i := 0; i < nEdges; i++ {
+		alive[i>>6] |= 1 << (i & 63)
+	}
+	cand := make([]uint64, words)
+	candN := 0
+	cursor := make([]int32, g.NumNodes())
+	sortedInc := make([][]graph.EdgeID, g.NumNodes())
+	for x := 0; x < g.NumNodes(); x++ {
+		sortedInc[x] = tbl.SortedIncident(s, x)
+	}
+	isAlive := func(id graph.EdgeID) bool { return alive[id>>6]&(1<<(id&63)) != 0 }
+	// heaviestAt returns x's heaviest pooled incident edge, or -1.
+	heaviestAt := func(x graph.NodeID) graph.EdgeID {
+		if int(cursor[x]) < len(sortedInc[x]) {
+			return sortedInc[x][cursor[x]]
+		}
+		return -1
+	}
+	setCand := func(id graph.EdgeID) {
+		w, b := id>>6, uint64(1)<<(id&63)
+		if cand[w]&b == 0 {
+			cand[w] |= b
+			candN++
+		}
+	}
+	// advance moves x's cursor past dead edges; if the new heaviest is
+	// also its other endpoint's heaviest, it just became locally
+	// heaviest.
+	advance := func(x graph.NodeID) {
+		inc := sortedInc[x]
+		for int(cursor[x]) < len(inc) && !isAlive(inc[cursor[x]]) {
+			cursor[x]++
+		}
+		if int(cursor[x]) < len(inc) {
+			id := inc[cursor[x]]
+			if heaviestAt(g.OtherEndpoint(id, x)) == id {
+				setCand(id)
+			}
+		}
+	}
+	aliveN := nEdges
+	removeEdge := func(id graph.EdgeID) {
+		w, b := id>>6, uint64(1)<<(id&63)
+		alive[w] &^= b
+		aliveN--
+		if cand[w]&b != 0 {
+			cand[w] &^= b
+			candN--
+		}
+		e := g.EdgeByID(id)
+		if heaviestAt(e.U) == id {
+			advance(e.U)
+		}
+		if heaviestAt(e.V) == id {
+			advance(e.V)
+		}
+	}
+	// Initial candidates: both endpoint cursors sit at position 0.
+	for id := graph.EdgeID(0); int(id) < nEdges; id++ {
+		e := g.EdgeByID(id)
+		if heaviestAt(e.U) == id && heaviestAt(e.V) == id {
+			setCand(id)
+		}
 	}
 	counter := make([]int, g.NumNodes())
 	for i := range counter {
 		counter[i] = s.Quota(i)
 	}
-	m := New(g.NumNodes())
-	for len(pool) > 0 {
-		// Collect all currently locally heaviest edges: heavier than
-		// every other pool edge sharing an endpoint.
-		candidates := locallyHeaviest(pool, tbl)
-		e := candidates[src.Intn(len(candidates))]
-		m.Add(e.U, e.V)
-		delete(pool, e)
+	m := NewDense(g)
+	m.preallocate(s)
+	for aliveN > 0 {
+		if candN == 0 {
+			panic("matching: non-empty pool without a locally heaviest edge")
+		}
+		id := nthSetBit(cand, src.Intn(candN))
+		e := g.EdgeByID(id)
+		m.addEdgeID(id, e)
 		counter[e.U]--
 		counter[e.V]--
-		for _, x := range []graph.NodeID{e.U, e.V} {
+		removeEdge(id)
+		for _, x := range [2]graph.NodeID{e.U, e.V} {
 			if counter[x] == 0 {
-				for _, nb := range g.Neighbors(x) {
-					delete(pool, graph.Edge{U: x, V: nb}.Normalize())
+				for _, eid := range g.IncidentEdges(x) {
+					if isAlive(eid) {
+						removeEdge(eid)
+					}
 				}
 			}
 		}
@@ -83,32 +196,19 @@ func LICLiteral(s *pref.System, tbl *satisfaction.Table, src *rng.Source) *Match
 	return m
 }
 
-// locallyHeaviest returns the pool edges that are heavier than every
-// other pool edge sharing an endpoint (condition 3 over the set Eij of
-// eq. 13 restricted to the current pool).
-func locallyHeaviest(pool map[graph.Edge]struct{}, tbl *satisfaction.Table) []graph.Edge {
-	// heaviestAt[x] = the heaviest pool edge incident to node x.
-	heaviestAt := make(map[graph.NodeID]satisfaction.WeightKey)
-	for e := range pool {
-		k := tbl.Key(e.U, e.V)
-		for _, x := range []graph.NodeID{e.U, e.V} {
-			if best, ok := heaviestAt[x]; !ok || k.Heavier(best) {
-				heaviestAt[x] = k
+// nthSetBit returns the position of the k-th (0-based) set bit of bs.
+func nthSetBit(bs []uint64, k int) graph.EdgeID {
+	for w, word := range bs {
+		if c := bits.OnesCount64(word); k >= c {
+			k -= c
+			continue
+		}
+		for ; word != 0; word &= word - 1 {
+			if k == 0 {
+				return graph.EdgeID(w<<6 + bits.TrailingZeros64(word))
 			}
+			k--
 		}
 	}
-	var out []graph.Edge
-	for e := range pool {
-		k := tbl.Key(e.U, e.V)
-		if heaviestAt[e.U] == k && heaviestAt[e.V] == k {
-			out = append(out, e)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].V < out[j].V
-	})
-	return out
+	panic("matching: set-bit rank out of range")
 }

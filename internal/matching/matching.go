@@ -11,6 +11,7 @@ package matching
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"overlaymatch/internal/graph"
@@ -19,19 +20,44 @@ import (
 )
 
 // Matching is a set of selected edges ("connections") over a graph,
-// tracked per node. The zero value is unusable; use New.
+// tracked per node. The zero value is unusable; use New or NewDense.
+//
+// Two representations share one API. The sparse form (New) keeps only
+// the per-node connection slices — membership scans conns[u], which is
+// bounded by the quota and so effectively constant. The dense form
+// (NewDense) additionally keeps an EdgeID-indexed bitset over a known
+// graph, giving O(log deg) membership and edge enumeration straight in
+// canonical order. Both forms present identical observable behavior;
+// Edges() iterates in canonical lexicographic order either way.
 type Matching struct {
 	n     int
+	size  int
 	conns [][]graph.NodeID
-	edges map[graph.Edge]struct{}
+
+	g    *graph.Graph // nil in sparse mode
+	bits []uint64     // EdgeID bitset, dense mode only
 }
 
-// New returns an empty matching over n nodes.
+// New returns an empty matching over n nodes in sparse mode, for
+// assemblies that know only the node count (e.g. collecting protocol
+// outcomes).
 func New(n int) *Matching {
 	return &Matching{
 		n:     n,
 		conns: make([][]graph.NodeID, n),
-		edges: make(map[graph.Edge]struct{}),
+	}
+}
+
+// NewDense returns an empty matching bound to g, backed by a dense
+// EdgeID bitset. Algorithms that hold the graph use this form: Add and
+// Has run off the CSR edge index with no hashing and no per-edge map
+// entries.
+func NewDense(g *graph.Graph) *Matching {
+	return &Matching{
+		n:     g.NumNodes(),
+		conns: make([][]graph.NodeID, g.NumNodes()),
+		g:     g,
+		bits:  make([]uint64, (g.NumEdges()+63)/64),
 	}
 }
 
@@ -39,17 +65,29 @@ func New(n int) *Matching {
 func (m *Matching) NumNodes() int { return m.n }
 
 // Size returns the number of selected edges.
-func (m *Matching) Size() int { return len(m.edges) }
+func (m *Matching) Size() int { return m.size }
 
 // Has reports whether edge {u,v} is selected.
 func (m *Matching) Has(u, v graph.NodeID) bool {
-	_, ok := m.edges[graph.Edge{U: u, V: v}.Normalize()]
-	return ok
+	if m.g != nil {
+		id, ok := m.g.EdgeIDOf(u, v)
+		return ok && m.bits[id>>6]&(1<<(id&63)) != 0
+	}
+	if u < 0 || u >= m.n {
+		return false
+	}
+	for _, x := range m.conns[u] {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Add selects edge {u,v}. It panics on self loops, out-of-range nodes,
 // or already-selected edges: algorithms are expected to know what they
-// add.
+// add. In dense mode it also panics on non-graph edges, which Validate
+// would reject later anyway.
 func (m *Matching) Add(u, v graph.NodeID) {
 	if u < 0 || u >= m.n || v < 0 || v >= m.n {
 		panic(fmt.Sprintf("matching: edge (%d,%d) out of range [0,%d)", u, v, m.n))
@@ -57,22 +95,68 @@ func (m *Matching) Add(u, v graph.NodeID) {
 	if u == v {
 		panic(fmt.Sprintf("matching: self loop at %d", u))
 	}
-	e := graph.Edge{U: u, V: v}.Normalize()
-	if _, dup := m.edges[e]; dup {
-		panic(fmt.Sprintf("matching: edge %v selected twice", e))
+	if m.g != nil {
+		id, ok := m.g.EdgeIDOf(u, v)
+		if !ok {
+			panic(fmt.Sprintf("matching: edge (%d,%d) is not a graph edge", u, v))
+		}
+		if m.bits[id>>6]&(1<<(id&63)) != 0 {
+			panic(fmt.Sprintf("matching: edge %v selected twice", graph.Edge{U: u, V: v}.Normalize()))
+		}
+		m.bits[id>>6] |= 1 << (id & 63)
+	} else if m.Has(u, v) {
+		panic(fmt.Sprintf("matching: edge %v selected twice", graph.Edge{U: u, V: v}.Normalize()))
 	}
-	m.edges[e] = struct{}{}
+	m.size++
 	m.conns[u] = append(m.conns[u], v)
 	m.conns[v] = append(m.conns[v], u)
 }
 
+// preallocate sizes every connection slice to its feasibility bound
+// min(quota, degree) out of one flat backing array, so subsequent Adds
+// never reallocate. Dense mode only; callers must hold the system the
+// matching will be filled under.
+func (m *Matching) preallocate(s *pref.System) {
+	total := 0
+	for i := 0; i < m.n; i++ {
+		c := s.Quota(i)
+		if d := m.g.Degree(i); d < c {
+			c = d
+		}
+		total += c
+	}
+	buf := make([]graph.NodeID, total)
+	off := 0
+	for i := 0; i < m.n; i++ {
+		c := s.Quota(i)
+		if d := m.g.Degree(i); d < c {
+			c = d
+		}
+		m.conns[i] = buf[off:off : off+c]
+		off += c
+	}
+}
+
+// addEdgeID is Add for dense-mode callers that already hold the edge's
+// id and endpoints (skipping the id lookup and the double-selection
+// check — the algorithms in this package add each edge at most once).
+func (m *Matching) addEdgeID(id graph.EdgeID, e graph.Edge) {
+	m.bits[id>>6] |= 1 << (id & 63)
+	m.size++
+	m.conns[e.U] = append(m.conns[e.U], e.V)
+	m.conns[e.V] = append(m.conns[e.V], e.U)
+}
+
 // Remove deselects edge {u,v}. It panics if the edge is not selected.
 func (m *Matching) Remove(u, v graph.NodeID) {
-	e := graph.Edge{U: u, V: v}.Normalize()
-	if _, ok := m.edges[e]; !ok {
-		panic(fmt.Sprintf("matching: removing unselected edge %v", e))
+	if !m.Has(u, v) {
+		panic(fmt.Sprintf("matching: removing unselected edge %v", graph.Edge{U: u, V: v}.Normalize()))
 	}
-	delete(m.edges, e)
+	if m.g != nil {
+		id, _ := m.g.EdgeIDOf(u, v)
+		m.bits[id>>6] &^= 1 << (id & 63)
+	}
+	m.size--
 	m.conns[u] = removeOne(m.conns[u], v)
 	m.conns[v] = removeOne(m.conns[v], u)
 }
@@ -98,38 +182,71 @@ func (m *Matching) Connections(i graph.NodeID) []graph.NodeID {
 // DegreeOf returns the number of connections node i holds (ci).
 func (m *Matching) DegreeOf(i graph.NodeID) int { return len(m.conns[i]) }
 
-// Edges returns the selected edges in canonical sorted order.
+// Edges returns the selected edges in canonical sorted order. Dense
+// mode walks the bitset — ascending EdgeID is exactly canonical order;
+// sparse mode collects each node's higher-numbered connections.
 func (m *Matching) Edges() []graph.Edge {
-	out := make([]graph.Edge, 0, len(m.edges))
-	for e := range m.edges {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
+	out := make([]graph.Edge, 0, m.size)
+	if m.g != nil {
+		for w, word := range m.bits {
+			for ; word != 0; word &= word - 1 {
+				id := graph.EdgeID(w<<6 + bits.TrailingZeros64(word))
+				out = append(out, m.g.EdgeByID(id))
+			}
 		}
-		return out[i].V < out[j].V
-	})
+		return out
+	}
+	for u := 0; u < m.n; u++ {
+		start := len(out)
+		for _, v := range m.conns[u] {
+			if v > u {
+				out = append(out, graph.Edge{U: u, V: v})
+			}
+		}
+		tail := out[start:]
+		sort.Slice(tail, func(i, j int) bool { return tail[i].V < tail[j].V })
+	}
 	return out
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (same representation, same graph binding).
 func (m *Matching) Clone() *Matching {
-	c := New(m.n)
-	for e := range m.edges {
+	var c *Matching
+	if m.g != nil {
+		c = NewDense(m.g)
+	} else {
+		c = New(m.n)
+	}
+	for _, e := range m.Edges() {
 		c.Add(e.U, e.V)
 	}
 	return c
 }
 
-// Equal reports whether two matchings select exactly the same edges.
+// Equal reports whether two matchings select exactly the same edges,
+// regardless of representation.
 func (m *Matching) Equal(o *Matching) bool {
-	if m.n != o.n || len(m.edges) != len(o.edges) {
+	if m.n != o.n || m.size != o.size {
 		return false
 	}
-	for e := range m.edges {
-		if _, ok := o.edges[e]; !ok {
+	if m.g != nil && m.g == o.g {
+		for w, word := range m.bits {
+			if word != o.bits[w] {
+				return false
+			}
+		}
+		return true
+	}
+	for u := 0; u < m.n; u++ {
+		if len(m.conns[u]) != len(o.conns[u]) {
 			return false
+		}
+	}
+	for u := 0; u < m.n; u++ {
+		for _, v := range m.conns[u] {
+			if v > u && !o.Has(u, v) {
+				return false
+			}
 		}
 	}
 	return true
@@ -143,9 +260,11 @@ func (m *Matching) Validate(s *pref.System) error {
 	if m.n != g.NumNodes() {
 		return fmt.Errorf("matching: %d nodes, graph has %d", m.n, g.NumNodes())
 	}
-	for e := range m.edges {
-		if !g.HasEdge(e.U, e.V) {
-			return fmt.Errorf("matching: selected non-edge %v", e)
+	for u := 0; u < m.n; u++ {
+		for _, v := range m.conns[u] {
+			if u < v && !g.HasEdge(u, v) {
+				return fmt.Errorf("matching: selected non-edge %v", graph.Edge{U: u, V: v})
+			}
 		}
 	}
 	for i := 0; i < m.n; i++ {
@@ -199,5 +318,5 @@ func (m *Matching) PerNodeSatisfaction(s *pref.System) []float64 {
 
 // String returns e.g. "matching{edges=5}".
 func (m *Matching) String() string {
-	return fmt.Sprintf("matching{edges=%d}", len(m.edges))
+	return fmt.Sprintf("matching{edges=%d}", m.size)
 }

@@ -40,10 +40,20 @@ func BuildParallel(g *graph.Graph, metric Metric, quota func(i graph.NodeID) int
 // when workers > 1 (block-partitioned: node work here is uniform
 // enough that contiguous ranges beat a work channel).
 func forEachNode(n, workers int, fn func(i int)) {
-	if workers <= 1 || n < 2*workers {
-		for i := 0; i < n; i++ {
+	forEachChunk(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			fn(i)
 		}
+	})
+}
+
+// forEachChunk partitions 0..n-1 into contiguous chunks, one per
+// worker goroutine, and runs fn once per chunk. Callers that need
+// per-worker scratch state allocate it at the top of fn, amortizing it
+// over the chunk instead of per node.
+func forEachChunk(n, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || n < 2*workers {
+		fn(0, n)
 		return
 	}
 	var wg sync.WaitGroup
@@ -56,9 +66,7 @@ func forEachNode(n, workers int, fn func(i int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
+			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -26,7 +26,11 @@ import (
 type System struct {
 	g     *graph.Graph
 	lists [][]graph.NodeID // lists[i] = Li: neighbors in decreasing desirability
-	rank  []map[graph.NodeID]int
+	// rank is one flat array aligned with the graph's CSR adjacency:
+	// rank[off(i)+k] = Ri(adj(i)[k]), where off is the graph's incidence
+	// offset and adj(i) the sorted neighbor list. Lookups go through
+	// graph.NeighborIndex (O(log deg)) instead of a per-node map.
+	rank  []int32
 	quota []int
 }
 
@@ -44,11 +48,17 @@ func (s *System) ListLen(i graph.NodeID) int { return len(s.lists[i]) }
 // Rank returns Ri(j), node j's rank in node i's preference list
 // (0 = best). It panics if j is not a neighbor of i.
 func (s *System) Rank(i, j graph.NodeID) int {
-	r, ok := s.rank[i][j]
+	k, ok := s.g.NeighborIndex(i, j)
 	if !ok {
 		panic(fmt.Sprintf("pref: node %d is not in node %d's preference list", j, i))
 	}
-	return r
+	return int(s.rank[s.g.IncidenceOffset(i)+int32(k)])
+}
+
+// RankAt returns Ri(adj(i)[k]) for neighbor position k of node i — the
+// map-free rank lookup for callers already iterating CSR adjacency.
+func (s *System) RankAt(i graph.NodeID, k int) int {
+	return int(s.rank[s.g.IncidenceOffset(i)+int32(k)])
 }
 
 // Quota returns bi, node i's connection quota.
@@ -78,13 +88,22 @@ func (s *System) Validate() error {
 // output does not depend on scheduling.
 func (s *System) validate(workers int) error {
 	n := s.g.NumNodes()
-	if len(s.lists) != n || len(s.rank) != n || len(s.quota) != n {
-		return fmt.Errorf("pref: per-node slices sized %d/%d/%d for %d nodes",
-			len(s.lists), len(s.rank), len(s.quota), n)
+	if len(s.lists) != n || len(s.quota) != n {
+		return fmt.Errorf("pref: per-node slices sized %d/%d for %d nodes",
+			len(s.lists), len(s.quota), n)
+	}
+	if len(s.rank) != 2*s.g.NumEdges() {
+		return fmt.Errorf("pref: rank table sized %d for %d edges", len(s.rank), s.g.NumEdges())
 	}
 	errs := make([]error, n)
-	forEachNode(n, workers, func(i int) {
-		errs[i] = s.validateNode(i)
+	// Each worker reuses one NodeID-indexed scratch slice for duplicate
+	// detection, stamped per node (seen[j] == i+1 means node i already
+	// ranked j), instead of allocating a map per node.
+	forEachChunk(n, workers, func(lo, hi int) {
+		seen := make([]int32, n)
+		for i := lo; i < hi; i++ {
+			errs[i] = s.validateNode(i, seen)
+		}
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -94,21 +113,21 @@ func (s *System) validate(workers int) error {
 	return nil
 }
 
-func (s *System) validateNode(i int) error {
+func (s *System) validateNode(i int, seen []int32) error {
 	neigh := s.g.Neighbors(i)
 	if len(s.lists[i]) != len(neigh) {
 		return fmt.Errorf("pref: node %d list length %d != degree %d", i, len(s.lists[i]), len(neigh))
 	}
-	seen := make(map[graph.NodeID]bool, len(neigh))
+	stamp := int32(i) + 1
 	for r, j := range s.lists[i] {
 		if !s.g.HasEdge(i, j) {
 			return fmt.Errorf("pref: node %d ranks non-neighbor %d", i, j)
 		}
-		if seen[j] {
+		if seen[j] == stamp {
 			return fmt.Errorf("pref: node %d ranks %d twice", i, j)
 		}
-		seen[j] = true
-		if got := s.rank[i][j]; got != r {
+		seen[j] = stamp
+		if got := s.Rank(i, j); got != r {
 			return fmt.Errorf("pref: node %d rank table says R(%d)=%d, list says %d", i, j, got, r)
 		}
 	}
@@ -147,13 +166,18 @@ func fromOwnedLists(g *graph.Graph, lists [][]graph.NodeID, quotas []int, worker
 	s := &System{
 		g:     g,
 		lists: lists,
-		rank:  make([]map[graph.NodeID]int, n),
+		rank:  make([]int32, 2*g.NumEdges()),
 		quota: quotas,
 	}
 	buildNode := func(i int) {
-		s.rank[i] = make(map[graph.NodeID]int, len(lists[i]))
+		off := g.IncidenceOffset(i)
 		for r, j := range lists[i] {
-			s.rank[i][j] = r
+			// Entries that are not neighbors (or repeat one) cannot be
+			// placed in the CSR-aligned table; validate rejects the list
+			// afterwards, so skipping here loses nothing.
+			if k, ok := g.NeighborIndex(i, j); ok {
+				s.rank[off+int32(k)] = int32(r)
+			}
 		}
 		b := quotas[i]
 		if b > len(lists[i]) {

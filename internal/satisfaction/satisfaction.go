@@ -15,6 +15,7 @@ package satisfaction
 
 import (
 	"fmt"
+	"math"
 	"math/big"
 	"slices"
 	"sort"
@@ -208,35 +209,77 @@ func (a WeightKey) Heavier(b WeightKey) bool {
 func (a WeightKey) Edge() graph.Edge { return graph.Edge{U: a.U, V: a.V} }
 
 // Table precomputes every edge's WeightKey for a system, providing the
-// weight lists the LID description calls for. It is immutable after
-// construction and safe for concurrent reads (the per-node weight-list
-// cache is built once, guarded by a sync.Once).
+// weight lists the LID description calls for. Keys live in one flat
+// array indexed by the graph's dense EdgeID; the per-node weight lists
+// and their inverse position tables are flat CSR-aligned arrays shared
+// by all nodes. It is immutable after construction and safe for
+// concurrent reads (the weight-list cache is built once, guarded by a
+// sync.Once).
 type Table struct {
-	keys map[graph.Edge]WeightKey
+	g    *graph.Graph
+	keys []WeightKey // indexed by graph.EdgeID
+	ord  []uint64    // packed order keys, aligned with keys (see OrderKeys)
 
 	sortedOnce sync.Once
-	sorted     [][]graph.NodeID         // per-node neighbors by descending weight
-	sortedIdx  []map[graph.NodeID]int32 // per-node: neighbor -> position in sorted
+	sorted     [][]graph.NodeID // per-node neighbors by descending weight (views into one buffer)
+	sortedInc  []graph.EdgeID   // flat, aligned with sorted: the incident EdgeID per entry
+	// posInSorted is CSR-aligned with the graph's adjacency: entry
+	// IncidenceOffset(u)+k is the weight-list position of neighbor
+	// Neighbors(u)[k] — the inverse of sorted, as one flat array
+	// instead of a map per node.
+	posInSorted []int32
 }
 
 // NewTable computes weights for every edge of the system's graph.
 func NewTable(s *pref.System) *Table {
-	t := &Table{keys: make(map[graph.Edge]WeightKey, s.Graph().NumEdges())}
-	for _, e := range s.Graph().Edges() {
-		t.keys[e] = KeyFor(s, e)
+	g := s.Graph()
+	t := &Table{
+		g:    g,
+		keys: make([]WeightKey, g.NumEdges()),
+		ord:  make([]uint64, g.NumEdges()),
+	}
+	for id, e := range g.Edges() {
+		t.keys[id] = KeyFor(s, e)
+		t.ord[id] = orderKey(t.keys[id].W)
 	}
 	return t
 }
 
+// orderKey maps a weight to a uint64 such that heavier sorts as
+// numerically smaller: the standard monotone float64→uint64 bit
+// transform, complemented. Equal weights collide, where the shared
+// order falls back to canonical endpoints ascending — which for dense
+// EdgeIDs is simply the smaller id (edges are stored in lexicographic
+// order), so (OrderKeys()[id], id) ascending IS the total order.
+func orderKey(w float64) uint64 {
+	b := math.Float64bits(w)
+	if b&(1<<63) != 0 {
+		b = ^b
+	} else {
+		b |= 1 << 63
+	}
+	return ^b
+}
+
+// OrderKeys returns the EdgeID-aligned packed order keys: sorting
+// EdgeIDs by (OrderKeys()[id], id) ascending yields exactly the
+// heaviest-first total order of Heavier. The slice is shared and must
+// not be mutated.
+func (t *Table) OrderKeys() []uint64 { return t.ord }
+
 // Key returns the WeightKey of edge {u,v}. It panics if the edge does
 // not exist.
 func (t *Table) Key(u, v graph.NodeID) WeightKey {
-	k, ok := t.keys[graph.Edge{U: u, V: v}.Normalize()]
+	id, ok := t.g.EdgeIDOf(u, v)
 	if !ok {
 		panic(fmt.Sprintf("satisfaction: no weight for edge (%d,%d)", u, v))
 	}
-	return k
+	return t.keys[id]
 }
+
+// KeyByID returns the WeightKey of the edge with the given dense id —
+// the O(1) lookup for callers already holding EdgeIDs.
+func (t *Table) KeyByID(id graph.EdgeID) WeightKey { return t.keys[id] }
 
 // Heavier reports whether edge {u,a} is strictly heavier than {u,b}
 // under the table's order (a convenience for per-node weight lists).
@@ -254,41 +297,65 @@ func (t *Table) SortedNeighbors(s *pref.System, u graph.NodeID) []graph.NodeID {
 	return t.sorted[u]
 }
 
+// SortedIncident returns the EdgeIDs of u's incident edges in
+// decreasing weight order, aligned with SortedNeighbors (entry k is
+// the edge {u, SortedNeighbors(u)[k]}). Shared and read-only.
+func (t *Table) SortedIncident(s *pref.System, u graph.NodeID) []graph.EdgeID {
+	t.buildSorted(s)
+	off := t.g.IncidenceOffset(u)
+	return t.sortedInc[off : int(off)+t.g.Degree(u)]
+}
+
 // SortedIndex returns the position of neighbor v in u's weight list
 // (the inverse of SortedNeighbors); shared and read-only like the
 // lists themselves. It panics if v is not a neighbor of u.
 func (t *Table) SortedIndex(s *pref.System, u, v graph.NodeID) int32 {
 	t.buildSorted(s)
-	idx, ok := t.sortedIdx[u][v]
+	k, ok := t.g.NeighborIndex(u, v)
 	if !ok {
 		panic(fmt.Sprintf("satisfaction: %d is not a neighbor of %d", v, u))
 	}
-	return idx
+	return t.posInSorted[t.g.IncidenceOffset(u)+int32(k)]
 }
 
-// NeighborIndexMap returns u's full neighbor→position map (shared,
-// read-only).
-func (t *Table) NeighborIndexMap(s *pref.System, u graph.NodeID) map[graph.NodeID]int32 {
+// WeightListPos returns u's full CSR-aligned position table: entry k is
+// the weight-list position of Neighbors(u)[k] (shared, read-only).
+// Protocol nodes use it as their neighbor→weight-list index, replacing
+// the per-node maps they used to allocate.
+func (t *Table) WeightListPos(s *pref.System, u graph.NodeID) []int32 {
 	t.buildSorted(s)
-	return t.sortedIdx[u]
+	off := t.g.IncidenceOffset(u)
+	return t.posInSorted[off : int(off)+t.g.Degree(u)]
 }
 
 func (t *Table) buildSorted(s *pref.System) {
 	t.sortedOnce.Do(func() {
 		g := s.Graph()
-		t.sorted = make([][]graph.NodeID, g.NumNodes())
-		t.sortedIdx = make([]map[graph.NodeID]int32, g.NumNodes())
-		for v := 0; v < g.NumNodes(); v++ {
-			list := append([]graph.NodeID(nil), g.Neighbors(v)...)
-			sort.Slice(list, func(a, b int) bool {
-				return t.Key(v, list[a]).Heavier(t.Key(v, list[b]))
-			})
-			t.sorted[v] = list
-			idx := make(map[graph.NodeID]int32, len(list))
-			for i, nb := range list {
-				idx[nb] = int32(i)
+		n := g.NumNodes()
+		total := 2 * g.NumEdges()
+		buf := make([]graph.NodeID, total)
+		t.sorted = make([][]graph.NodeID, n)
+		t.sortedInc = make([]graph.EdgeID, total)
+		t.posInSorted = make([]int32, total)
+		perm := make([]int32, g.MaxDegree())
+		for v := 0; v < n; v++ {
+			off := int(g.IncidenceOffset(v))
+			neigh := g.Neighbors(v)
+			incident := g.IncidentEdges(v)
+			p := perm[:len(neigh)]
+			for i := range p {
+				p[i] = int32(i)
 			}
-			t.sortedIdx[v] = idx
+			sort.Slice(p, func(a, b int) bool {
+				return t.keys[incident[p[a]]].Heavier(t.keys[incident[p[b]]])
+			})
+			list := buf[off : off+len(neigh)]
+			for k, orig := range p {
+				list[k] = neigh[orig]
+				t.sortedInc[off+k] = incident[orig]
+				t.posInSorted[off+int(orig)] = int32(k)
+			}
+			t.sorted[v] = list
 		}
 	})
 }
