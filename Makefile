@@ -3,23 +3,24 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short race race-core registry-coverage vet fuzz fuzz-smoke bench bench-json experiments examples cover clean
+.PHONY: all build check test test-short race race-core registry-coverage golden-check vet fuzz fuzz-smoke bench bench-json experiments examples cover clean
 
 all: build vet test
 
 # The default pre-commit gate: full build + vet + tests, plus the race
 # detector on the concurrency-bearing packages (the metrics registry,
 # both simnet runtimes, and the fault-injection explorer), the
-# experiment-registry coverage sweep, and a short fuzz pass over the
-# parsers.
-check: build vet test race-core registry-coverage fuzz-smoke
+# experiment-registry coverage sweep, a short fuzz pass over the
+# parsers, and the golden-output regeneration diff (possible since the
+# golden file is timing-free; any drift in any experiment fails here).
+check: build vet test race-core registry-coverage fuzz-smoke golden-check
 
 # Vet first so a broken build fails fast instead of surfacing as a
 # confusing mid-run race failure. The dense-core packages (graph, pref,
 # satisfaction, matching, lid) are included: they share read-only CSR
 # slices across goroutines, which the race detector must keep honest.
 race-core: vet
-	$(GO) test -race -short ./internal/metrics/... ./internal/simnet/... ./internal/faults/... ./internal/detector/... ./internal/reliable/... ./internal/graph/... ./internal/pref/... ./internal/satisfaction/... ./internal/matching/... ./internal/lid/...
+	$(GO) test -race -short ./internal/par/... ./internal/metrics/... ./internal/simnet/... ./internal/faults/... ./internal/detector/... ./internal/reliable/... ./internal/graph/... ./internal/pref/... ./internal/satisfaction/... ./internal/matching/... ./internal/lid/...
 
 # Every registered experiment must still run under quick parameters —
 # catches experiments silently falling out of the registry.
@@ -56,10 +57,20 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Deterministic machine-readable benchmark trajectory: fixed seeds and
-# iteration counts, merged into BENCH_PR4.json next to any phase rows
-# already recorded there (see cmd/benchjson).
+# iteration counts. PR5 rows pair every headline benchmark with its
+# deterministic-parallel variant (*Par, -workers 8); BENCH_PR4.json
+# stays committed as the previous point of the trajectory.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR4.json -phase after -merge
+	$(GO) run ./cmd/benchjson -out BENCH_PR5.json -phase after -merge -workers 8
+
+# The golden experiments file must regenerate to the exact committed
+# bytes: wall-clock columns now live in the manifest/metrics sink, so
+# any diff is a real behavior change (or an unintended nondeterminism)
+# and fails the gate.
+golden-check:
+	$(GO) run ./cmd/experiments -run all -seed 1 -out .experiments_regen.txt
+	diff -u experiments_full.txt .experiments_regen.txt
+	rm -f .experiments_regen.txt
 
 # Regenerate the validation suite (EXPERIMENTS.md's source of truth).
 experiments:
@@ -78,4 +89,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out
+	rm -f cover.out .experiments_regen.txt

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"overlaymatch/internal/gen"
+	"overlaymatch/internal/graph"
 	"overlaymatch/internal/matching"
 	"overlaymatch/internal/pref"
 	"overlaymatch/internal/rng"
@@ -80,9 +81,10 @@ func measure(iters int, fn func()) (nsPerOp, bPerOp, allocsPerOp float64) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output file")
+	out := flag.String("out", "BENCH_PR5.json", "output file")
 	phase := flag.String("phase", "after", "phase tag for the emitted rows (before|after)")
 	merge := flag.Bool("merge", true, "keep rows of other phases already in the output file")
+	workers := flag.Int("workers", 8, "worker count of the *Par rows (serial rows always run; output of both is bit-identical)")
 	flag.Parse()
 
 	var rows []Row
@@ -97,7 +99,9 @@ func main() {
 	}
 
 	// Table construction and the centralized scan, the two headline
-	// targets, at three scales.
+	// targets, at three scales — each serial and with the deterministic
+	// parallel layer (the *Par rows; any observable divergence between
+	// the two is a hard failure, not a benchmark artifact).
 	for _, sz := range []struct{ n, itersTable, itersLIC int }{
 		{1_000, 200, 200},
 		{10_000, 20, 20},
@@ -112,11 +116,42 @@ func main() {
 			"matched": float64(m.Size()),
 			"weight":  m.Weight(s),
 		}
+		metPar := map[string]float64{
+			"edges":   float64(g.NumEdges()),
+			"matched": float64(m.Size()),
+			"weight":  m.Weight(s),
+			"workers": float64(*workers),
+		}
 		add("NewTable", sz.n, sz.itersTable, met, func() {
 			_ = satisfaction.NewTable(s)
 		})
+		add("NewTablePar", sz.n, sz.itersTable, metPar, func() {
+			_ = satisfaction.NewTableParallel(s, *workers)
+		})
 		add("LIC", sz.n, sz.itersLIC, met, func() {
 			_ = matching.LIC(s, tbl)
+		})
+		add("LICPar", sz.n, sz.itersLIC, metPar, func() {
+			if got := matching.LICParallel(s, tbl, *workers); got.Size() != m.Size() {
+				panic("benchjson: LICParallel diverged from LIC")
+			}
+		})
+		// The LIC radix sort in isolation (the tentpole's parallel
+		// target), on the real order keys of this workload.
+		ids := make([]graph.EdgeID, g.NumEdges())
+		sortMet := map[string]float64{"edges": float64(g.NumEdges())}
+		sortMetPar := map[string]float64{"edges": float64(g.NumEdges()), "workers": float64(*workers)}
+		add("LICSort", sz.n, sz.itersLIC, sortMet, func() {
+			for i := range ids {
+				ids[i] = graph.EdgeID(i)
+			}
+			matching.SortEdgeIDs(ids, tbl.OrderKeys(), 1)
+		})
+		add("LICSortPar", sz.n, sz.itersLIC, sortMetPar, func() {
+			for i := range ids {
+				ids[i] = graph.EdgeID(i)
+			}
+			matching.SortEdgeIDs(ids, tbl.OrderKeys(), *workers)
 		})
 		add("PrefBuild", sz.n, max(sz.itersLIC/5, 1), map[string]float64{
 			"edges": float64(g.NumEdges()),

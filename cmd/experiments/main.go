@@ -33,7 +33,7 @@ func main() {
 		md      = flag.Bool("md", false, "emit Markdown instead of aligned text")
 		out     = flag.String("out", "", "write to file instead of stdout")
 		csv     = flag.String("csv", "", "also write each table as CSV into this directory")
-		workers = flag.Int("workers", 0, "parallel workers for oracle sweeps (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "parallel workers for oracle sweeps and the dense-core builds (0 = GOMAXPROCS; output is bit-identical for any value)")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		metOut  = flag.Bool("metrics", false, "print the suite's aggregated metric snapshot to stderr")
 		metFmt  = flag.String("metrics-format", "text", "metric snapshot format: text | json | prom")

@@ -67,6 +67,7 @@ func main() {
 		hbInt    = flag.Float64("hb-interval", 0, "heartbeat interval override in virtual time units (implies -detector on)")
 		phiThr   = flag.Float64("phi-threshold", 0, "phi suspicion threshold override (implies -detector on)")
 		replay   = flag.String("replay", "", "re-execute a frozen replay file (see faults.Explore) and report the verdict")
+		workers  = flag.Int("workers", 0, "goroutines for the deterministic parallel weight-table build (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 		verbose  = flag.Bool("v", false, "print per-peer connections")
 	)
 	flag.Parse()
@@ -141,7 +142,7 @@ func main() {
 		verbose: *verbose, dotPath: *dotOut, tracePath: *traceOut, traceFormat: *traceFmt,
 		showMetrics: *metOut, metricsFormat: *metFmt,
 		faults: spec, faultsSeed: fseed, reliable: *reliab, rto: *rto,
-		adaptiveRTO: *adaptRTO, det: det}
+		adaptiveRTO: *adaptRTO, det: det, workers: *workers}
 	switch *traceFmt {
 	case "log", "ndjson":
 	default:
@@ -243,6 +244,7 @@ type reportOpts struct {
 	rto           float64
 	adaptiveRTO   bool
 	det           detector.Config
+	workers       int
 }
 
 // policy returns the run's fault-injection policy (nil when -faults is
@@ -316,7 +318,7 @@ func runWorkloadFile(path string, opts reportOpts) {
 func runAndReport(sys *pref.System, opts reportOpts) {
 	seed, runtime_, jitter, verbose := opts.seed, opts.runtime, opts.jitter, opts.verbose
 	g := sys.Graph()
-	tbl := satisfaction.NewTable(sys)
+	tbl := satisfaction.NewTableParallel(sys, opts.workers)
 	var collector trace.Collector
 	var traceFn func(simnet.TraceEntry)
 	if opts.tracePath != "" {

@@ -59,13 +59,18 @@ func E9Churn(cfg Config) ([]*stats.Table, error) {
 	return []*stats.Table{t}, nil
 }
 
-// E10Scalability: wall-clock time of the centralized LIC scan, the
+// E10Scalability: scalability of the centralized LIC scan, the
 // event-driven LID simulation, and the goroutine LID runtime as the
-// network grows. Timing is inherently machine-dependent; the shape to
-// verify is near-linear growth in m for LIC and the event runtime.
+// network grows. The rendered table carries only the deterministic
+// workload and agreement columns, so the golden output file is
+// byte-identical across machines and runs; the machine-dependent
+// wall-clock measurements are routed to the run's metric sink (and
+// from there into the manifest) as e10_*_ms gauges instead of leaking
+// into golden stdout. The shape to verify there is near-linear growth
+// in m for LIC and the event runtime.
 func E10Scalability(cfg Config) ([]*stats.Table, error) {
-	t := stats.NewTable("E10: wall-clock scalability (avg deg ~8, b=3)",
-		"n", "edges", "LIC", "LID event", "LID goroutines")
+	t := stats.NewTable("E10: scalability workloads (avg deg ~8, b=3; timings in manifest/metrics)",
+		"n", "edges", "matched", "LIC weight", "runtimes agree")
 	ns := []int{500, 1000, 2000, 4000, 8000}
 	if cfg.Quick {
 		ns = []int{200, 400}
@@ -76,10 +81,11 @@ func E10Scalability(cfg Config) ([]*stats.Table, error) {
 			return nil, err
 		}
 		sys := w.System
-		tbl := satisfaction.NewTable(sys)
+		tbl := satisfaction.NewTableParallel(sys, cfg.Workers)
 
 		t0 := time.Now()
-		licM := matching.LIC(sys, tbl).Weight(sys)
+		lic := matching.LICParallel(sys, tbl, cfg.Workers)
+		licM := lic.Weight(sys)
 		licDur := time.Since(t0)
 
 		t1 := time.Now()
@@ -99,8 +105,16 @@ func E10Scalability(cfg Config) ([]*stats.Table, error) {
 		if resE.Matching.Weight(sys) != licM || resG.Matching.Weight(sys) != licM {
 			return nil, fmt.Errorf("E10: runtimes disagree at n=%d", n)
 		}
-		t.AddRowf(n, sys.Graph().NumEdges(),
-			licDur.String(), evDur.String(), goDur.String())
+		if cfg.Metrics != nil {
+			ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+			cfg.Metrics.Gauge(fmt.Sprintf("e10_lic_ms{n=%d}", n),
+				"E10 wall clock of the centralized LIC scan (machine-dependent)").Set(ms(licDur))
+			cfg.Metrics.Gauge(fmt.Sprintf("e10_lid_event_ms{n=%d}", n),
+				"E10 wall clock of the event-driven LID run (machine-dependent)").Set(ms(evDur))
+			cfg.Metrics.Gauge(fmt.Sprintf("e10_lid_goroutine_ms{n=%d}", n),
+				"E10 wall clock of the goroutine LID run (machine-dependent)").Set(ms(goDur))
+		}
+		t.AddRowf(n, sys.Graph().NumEdges(), lic.Size(), licM, "yes")
 	}
 	return []*stats.Table{t}, nil
 }

@@ -1,8 +1,7 @@
 package experiments
 
 import (
-	"runtime"
-	"sync"
+	"overlaymatch/internal/par"
 )
 
 // parallelFor evaluates fn(0..n-1) across `workers` goroutines
@@ -10,41 +9,8 @@ import (
 // order, so output is bit-identical to the serial run regardless of
 // scheduling — experiment determinism is non-negotiable. The first
 // error encountered (lowest index) wins; remaining work still drains.
+// Oracle sweeps have wildly uneven per-item cost (branch-and-bound),
+// hence the dynamic queue of par.Map rather than block partitioning.
 func parallelFor[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	results := make([]T, n)
-	errs := make([]error, n)
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			results[i], errs[i] = fn(i)
-		}
-	} else {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					results[i], errs[i] = fn(i)
-				}
-			}()
-		}
-		for i := 0; i < n; i++ {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
-	}
-	return results, nil
+	return par.Map(par.Workers(workers), n, fn)
 }

@@ -8,8 +8,15 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
+
+// edgeLimit is the largest edge count a Graph can index: EdgeID is
+// int32 and the CSR incidence offsets count 2m directed slots in
+// int32, so m must satisfy 2m <= MaxInt32. It is a variable only so
+// the overflow test can lower it; real code treats it as a constant.
+var edgeLimit = math.MaxInt32 / 2
 
 // NodeID identifies a node. Nodes of a Graph with n nodes are exactly
 // 0..n-1; algorithms rely on this density to use slices instead of maps.
@@ -338,6 +345,14 @@ func (b *Builder) NumEdges() int { return len(b.seen) }
 func (b *Builder) Graph() (*Graph, error) {
 	if len(b.errs) > 0 {
 		return nil, fmt.Errorf("graph: %d invalid edge(s), first: %w", len(b.errs), b.errs[0])
+	}
+	// Dense EdgeIDs are int32 and the incidence offsets accumulate 2m in
+	// int32; beyond this the ids and offsets would silently wrap, so the
+	// builder refuses instead.
+	if len(b.seen) > edgeLimit {
+		return nil, fmt.Errorf(
+			"graph: %d edges exceed the dense-index limit of %d (EdgeID and CSR incidence offsets are int32; 2m must fit)",
+			len(b.seen), edgeLimit)
 	}
 	g := &Graph{
 		n:     b.n,

@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuilderEdgeLimit exercises the int32 overflow guard of
+// Builder.Graph by lowering the limit to a mockable size: a graph
+// cannot allocate 2³⁰ real edges in a unit test, but the guard only
+// compares a count, so a lowered edgeLimit drives the exact production
+// branch.
+func TestBuilderEdgeLimit(t *testing.T) {
+	old := edgeLimit
+	defer func() { edgeLimit = old }()
+	edgeLimit = 4
+
+	// 5 edges on 5 nodes: one beyond the mocked limit.
+	b := NewBuilder(5)
+	for _, e := range [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}} {
+		b.AddEdge(e[0], e[1])
+	}
+	if b.NumEdges() != 5 {
+		t.Fatalf("builder holds %d edges, want 5", b.NumEdges())
+	}
+	_, err := b.Graph()
+	if err == nil {
+		t.Fatal("Graph() accepted an edge count beyond the dense-index limit")
+	}
+	for _, want := range []string{"5 edges", "dense-index limit of 4", "int32"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("overflow error %q does not mention %q", err, want)
+		}
+	}
+
+	// Exactly at the limit still builds.
+	b2 := NewBuilder(5)
+	for _, e := range [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}} {
+		b2.AddEdge(e[0], e[1])
+	}
+	g, err := b2.Graph()
+	if err != nil {
+		t.Fatalf("Graph() rejected an edge count at the limit: %v", err)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("built graph has %d edges, want 4", g.NumEdges())
+	}
+
+	// The guard reports through MustGraph and FromEdges too.
+	b3 := NewBuilder(5)
+	for _, e := range [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}} {
+		b3.AddEdge(e[0], e[1])
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("MustGraph did not panic on overflow")
+			}
+		}()
+		b3.MustGraph()
+	}()
+}

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"overlaymatch/internal/graph"
+	"overlaymatch/internal/par"
 	"overlaymatch/internal/pref"
 	"overlaymatch/internal/rng"
 	"overlaymatch/internal/satisfaction"
@@ -18,6 +19,19 @@ import (
 // so this computes exactly the LIC (and hence LID, Lemmas 3–4)
 // matching in O(m log m).
 func LIC(s *pref.System, tbl *satisfaction.Table) *Matching {
+	return LICParallel(s, tbl, 1)
+}
+
+// LICParallel is LIC with the radix sort (and the trivial fills) fanned
+// out over `workers` goroutines (0 = GOMAXPROCS); see
+// sortByOrderKeyParallel for why the sorted order — and therefore the
+// matching — is bit-identical to LIC for any worker count. The greedy
+// selection scan itself stays serial: it is a sequential dependence
+// chain over the sorted order (each acceptance consumes quota the next
+// decision reads) and it is O(m) with two array lookups per edge, far
+// from the bottleneck. workers <= 1 is exactly the serial code path.
+func LICParallel(s *pref.System, tbl *satisfaction.Table, workers int) *Matching {
+	workers = par.Workers(workers)
 	g := s.Graph()
 	// Sort dense EdgeIDs, not WeightKey structs, and by the table's
 	// packed order keys rather than a comparison function: a stable LSD
@@ -25,14 +39,18 @@ func LIC(s *pref.System, tbl *satisfaction.Table) *Matching {
 	// order, which is exactly the canonical-endpoint tiebreak of
 	// WeightKey.Heavier.
 	ids := make([]graph.EdgeID, g.NumEdges())
-	for i := range ids {
-		ids[i] = graph.EdgeID(i)
-	}
-	sortByOrderKey(ids, tbl.OrderKeys())
+	par.ForEachChunk(len(ids), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ids[i] = graph.EdgeID(i)
+		}
+	})
+	sortByOrderKeyParallel(ids, tbl.OrderKeys(), workers)
 	counter := make([]int, g.NumNodes())
-	for i := range counter {
-		counter[i] = s.Quota(i)
-	}
+	par.ForEachChunk(len(counter), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			counter[i] = s.Quota(i)
+		}
+	})
 	m := NewDense(g)
 	m.preallocate(s)
 	for _, id := range ids {
@@ -82,6 +100,78 @@ func sortByOrderKey(ids []graph.EdgeID, ord []uint64) {
 	}
 }
 
+// SortEdgeIDs stable-sorts ids ascending by (ord[id], id) — the shared
+// heaviest-first total order when ord is satisfaction.Table.OrderKeys —
+// serially for workers <= 1 and with the sharded parallel radix sort
+// otherwise (identical output either way). Exported for the benchmark
+// driver and the equivalence tests; LIC callers never need it.
+func SortEdgeIDs(ids []graph.EdgeID, ord []uint64, workers int) {
+	sortByOrderKeyParallel(ids, ord, workers)
+}
+
+// parallelSortMin is the slice length below which the parallel radix
+// sort falls back to the serial one: under ~64k keys the per-digit
+// join overhead exceeds the counting work being split.
+const parallelSortMin = 1 << 16
+
+// sortByOrderKeyParallel is sortByOrderKey with each digit's counting
+// and scatter passes sharded over contiguous ranges of src. The output
+// is bit-identical to the serial sort: per digit, each shard counts its
+// own 256-bucket histogram; the exclusive prefix sum runs serially over
+// (digit, shard) in digit-major shard-minor order, handing every shard
+// a disjoint set of destination cursors per bucket; the scatter then
+// places each key at a position determined only by the histograms — so
+// within a bucket, keys land shard by shard in scan order, which is
+// exactly the serial stable order. No write is contended and no result
+// depends on goroutine scheduling.
+func sortByOrderKeyParallel(ids []graph.EdgeID, ord []uint64, workers int) {
+	if workers <= 1 || len(ids) < parallelSortMin {
+		sortByOrderKey(ids, ord)
+		return
+	}
+	n := len(ids)
+	src, dst := ids, make([]graph.EdgeID, n)
+	shards := par.NumShards(n, workers)
+	counts := make([][256]int, shards)
+	for shift := 0; shift < 64; shift += 8 {
+		par.ForEachShard(n, workers, func(sh, lo, hi int) {
+			c := &counts[sh]
+			*c = [256]int{}
+			for _, id := range src[lo:hi] {
+				c[(ord[id]>>shift)&0xff]++
+			}
+		})
+		first := (ord[src[0]] >> shift) & 0xff
+		onFirst := 0
+		for sh := range counts {
+			onFirst += counts[sh][first]
+		}
+		if onFirst == n {
+			continue // all keys share this digit
+		}
+		sum := 0
+		for d := 0; d < 256; d++ {
+			for sh := 0; sh < shards; sh++ {
+				c := counts[sh][d]
+				counts[sh][d] = sum
+				sum += c
+			}
+		}
+		par.ForEachShard(n, workers, func(sh, lo, hi int) {
+			c := &counts[sh]
+			for _, id := range src[lo:hi] {
+				d := (ord[id] >> shift) & 0xff
+				dst[c[d]] = id
+				c[d]++
+			}
+		})
+		src, dst = dst, src
+	}
+	if &src[0] != &ids[0] {
+		copy(ids, src)
+	}
+}
+
 // LICLiteral runs Algorithm 2 exactly as printed: maintain the edge
 // pool P, repeatedly take *a* locally heaviest edge (chosen uniformly
 // at random among all currently locally heaviest ones, driven by src),
@@ -99,6 +189,21 @@ func sortByOrderKey(ids []graph.EdgeID, ord []uint64) {
 // (ascending EdgeID = canonical lexicographic) and rng consumption are
 // identical to the rescanning version, so outcomes are bit-identical.
 func LICLiteral(s *pref.System, tbl *satisfaction.Table, src *rng.Source) *Matching {
+	return LICLiteralParallel(s, tbl, src, 1)
+}
+
+// LICLiteralParallel is LICLiteral with the initial whole-pool
+// candidate scan (the one O(m) pass over every edge) sharded over
+// `workers` goroutines; the per-round cursor advances stay serial
+// because each is O(1) amortized and causally follows the rng draw of
+// its round. Shards are aligned to 64-bit words of the candidate
+// bitset, so each worker owns a disjoint word range and a private
+// count; counts fold in shard order after the join. The bitset and
+// count — and the rng stream, draw for draw — are bit-identical to
+// LICLiteral's for any worker count; workers <= 1 is exactly the
+// serial code path.
+func LICLiteralParallel(s *pref.System, tbl *satisfaction.Table, src *rng.Source, workers int) *Matching {
+	workers = par.Workers(workers)
 	g := s.Graph()
 	nEdges := g.NumEdges()
 	words := (nEdges + 63) / 64
@@ -161,10 +266,43 @@ func LICLiteral(s *pref.System, tbl *satisfaction.Table, src *rng.Source) *Match
 		}
 	}
 	// Initial candidates: both endpoint cursors sit at position 0.
-	for id := graph.EdgeID(0); int(id) < nEdges; id++ {
-		e := g.EdgeByID(id)
-		if heaviestAt(e.U) == id && heaviestAt(e.V) == id {
-			setCand(id)
+	if workers <= 1 {
+		for id := graph.EdgeID(0); int(id) < nEdges; id++ {
+			e := g.EdgeByID(id)
+			if heaviestAt(e.U) == id && heaviestAt(e.V) == id {
+				setCand(id)
+			}
+		}
+	} else {
+		// Word-aligned shards: worker-private cand words and counts,
+		// counts folded in shard order after the join. Every cursor is 0
+		// and every edge alive, so "locally heaviest" reduces to heading
+		// both endpoints' sorted incidence lists — a pure read of the
+		// immutable table.
+		shardCount := make([]int, par.NumShards(words, workers))
+		par.ForEachShard(words, workers, func(sh, loW, hiW int) {
+			total := 0
+			for w := loW; w < hiW; w++ {
+				var word uint64
+				base := w << 6
+				limit := nEdges - base
+				if limit > 64 {
+					limit = 64
+				}
+				for b := 0; b < limit; b++ {
+					id := graph.EdgeID(base + b)
+					e := g.EdgeByID(id)
+					if sortedInc[e.U][0] == id && sortedInc[e.V][0] == id {
+						word |= 1 << b
+					}
+				}
+				cand[w] = word
+				total += bits.OnesCount64(word)
+			}
+			shardCount[sh] = total
+		})
+		for _, c := range shardCount {
+			candN += c
 		}
 	}
 	counter := make([]int, g.NumNodes())

@@ -1,0 +1,157 @@
+// Package par hosts the shard/join primitives the deterministic
+// parallel layer is built from. The contract every user of this
+// package upholds (DESIGN.md §8):
+//
+//   - Work is split into shards whose OUTPUT regions are disjoint
+//     slices of preallocated flat arrays, so workers never contend and
+//     the result is byte-for-byte independent of scheduling.
+//   - Any reduction (errors, counts) is materialized per shard and
+//     folded in fixed index order after the join, never as-completed.
+//   - workers <= 1 runs the loop inline on the calling goroutine with
+//     no goroutine, channel, or WaitGroup involved — the exact legacy
+//     serial code path, so `workers=1` is not merely equivalent but
+//     identical machine code to the pre-parallel implementation.
+//
+// The package deliberately offers only block partitioning (contiguous
+// ranges) for uniform work and one dynamic work queue (Map) for uneven
+// work whose outputs are still index-addressed; both make determinism
+// structural rather than something each call site re-argues.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: values <= 0 mean GOMAXPROCS,
+// anything else is returned unchanged. Call sites thread the resolved
+// count so nested fans do not re-read GOMAXPROCS mid-run.
+func Workers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ForEachChunk partitions 0..n-1 into contiguous chunks, one per
+// worker goroutine, and runs fn once per chunk. Callers needing
+// per-worker scratch allocate it at the top of fn, amortizing it over
+// the chunk instead of per item. With workers <= 1 (or too little work
+// to matter) fn runs once, inline, over the whole range.
+func ForEachChunk(n, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || n < 2*workers {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForEachShard is ForEachChunk with the shard index exposed: fn is
+// called as fn(shard, lo, hi) where shard counts chunks from 0 in range
+// order. Callers that accumulate per-shard partial results (counts,
+// errors) index a preallocated slice by shard and fold it in shard
+// order after the join — the fixed reduction order of the determinism
+// contract. NumShards reports how many calls to expect.
+func ForEachShard(n, workers int, fn func(shard, lo, hi int)) {
+	if workers <= 1 || n < 2*workers {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	shard := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			fn(shard, lo, hi)
+		}(shard, lo, hi)
+		shard++
+	}
+	wg.Wait()
+}
+
+// NumShards returns the number of shards ForEachShard/ForEachChunk
+// will use for the given range and worker count (always >= 1 for
+// n > 0, and exactly 1 when the range runs inline).
+func NumShards(n, workers int) int {
+	if workers <= 1 || n < 2*workers {
+		return 1
+	}
+	chunk := (n + workers - 1) / workers
+	return (n + chunk - 1) / chunk
+}
+
+// ForEachIndex runs fn(0..n-1) fanned out over workers goroutines
+// (block-partitioned; see ForEachChunk for the inline workers<=1
+// path). For item work too uneven for block partitioning, use Map.
+func ForEachIndex(n, workers int, fn func(i int)) {
+	ForEachChunk(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Map evaluates fn(0..n-1) across workers goroutines with a dynamic
+// work queue (for uneven per-item cost) and returns the results in
+// index order, so output is bit-identical to the serial run regardless
+// of scheduling. The first error in INDEX order wins (not completion
+// order); remaining work still drains. workers <= 1 runs serially
+// inline.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

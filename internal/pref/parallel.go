@@ -1,11 +1,10 @@
 package pref
 
 import (
-	"runtime"
 	"slices"
-	"sync"
 
 	"overlaymatch/internal/graph"
+	"overlaymatch/internal/par"
 )
 
 // BuildParallel is Build with the per-node scoring and sorting fanned
@@ -22,9 +21,7 @@ import (
 // (Σ deg·log deg scoring and sorting); at 10⁵+ peers it dominates, and
 // it is embarrassingly parallel per node.
 func BuildParallel(g *graph.Graph, metric Metric, quota func(i graph.NodeID) int, workers int) (*System, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = par.Workers(workers)
 	n := g.NumNodes()
 	lists := make([][]graph.NodeID, n)
 	quotas := make([]int, n)
@@ -36,41 +33,13 @@ func BuildParallel(g *graph.Graph, metric Metric, quota func(i graph.NodeID) int
 	return fromOwnedLists(g, lists, quotas, workers)
 }
 
-// forEachNode runs fn(0..n-1), fanned out over `workers` goroutines
-// when workers > 1 (block-partitioned: node work here is uniform
-// enough that contiguous ranges beat a work channel).
-func forEachNode(n, workers int, fn func(i int)) {
-	forEachChunk(n, workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			fn(i)
-		}
-	})
-}
+// forEachNode and forEachChunk are the package's historical names for
+// the shared shard/join primitives, now hosted in internal/par (node
+// work here is uniform enough that contiguous ranges beat a work
+// channel; per-worker scratch goes at the top of a chunk fn).
+func forEachNode(n, workers int, fn func(i int)) { par.ForEachIndex(n, workers, fn) }
 
-// forEachChunk partitions 0..n-1 into contiguous chunks, one per
-// worker goroutine, and runs fn once per chunk. Callers that need
-// per-worker scratch state allocate it at the top of fn, amortizing it
-// over the chunk instead of per node.
-func forEachChunk(n, workers int, fn func(lo, hi int)) {
-	if workers <= 1 || n < 2*workers {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
+func forEachChunk(n, workers int, fn func(lo, hi int)) { par.ForEachChunk(n, workers, fn) }
 
 // rankedNeighbors scores and sorts one neighborhood; shared by Build
 // and BuildParallel so the orders cannot diverge. Scores are sorted as

@@ -22,8 +22,36 @@ import (
 	"sync"
 
 	"overlaymatch/internal/graph"
+	"overlaymatch/internal/par"
 	"overlaymatch/internal/pref"
 )
+
+// dupScratch is the epoch-stamped duplicate detector Value borrows per
+// call (the same pattern as pref's validator): seen[r] == stamp marks
+// rank r as taken in the current call, and bumping stamp invalidates
+// every mark in O(1), so the slice is cleared only when it grows or the
+// stamp wraps. Pooled so the hot churn/experiment loops that call Value
+// per node per event stop paying a map allocation each time.
+type dupScratch struct {
+	seen  []uint32
+	stamp uint32
+}
+
+var dupScratchPool = sync.Pool{New: func() any { return new(dupScratch) }}
+
+// next prepares the scratch for one call needing `size` slots.
+func (d *dupScratch) next(size int) {
+	if cap(d.seen) < size {
+		d.seen = make([]uint32, size)
+		d.stamp = 0
+	}
+	d.seen = d.seen[:size]
+	d.stamp++
+	if d.stamp == 0 {
+		clear(d.seen)
+		d.stamp = 1
+	}
+}
 
 // Value computes Si (eq. 1) for node i connected to the given
 // neighbors. The connection set need not be sorted; it is ranked
@@ -43,15 +71,23 @@ func Value(s *pref.System, i graph.NodeID, conns []graph.NodeID) float64 {
 	if len(conns) > s.Quota(i) {
 		panic(fmt.Sprintf("satisfaction: node %d has %d connections, quota %d", i, len(conns), s.Quota(i)))
 	}
+	// Duplicate detection rides on the ranks: Li is a strict total
+	// order, so two equal connections are exactly two equal ranks. The
+	// rank-indexed epoch scratch replaces the map this loop used to
+	// allocate per call.
 	var rankSum float64
-	seen := make(map[graph.NodeID]bool, len(conns))
+	d := dupScratchPool.Get().(*dupScratch)
+	d.next(s.ListLen(i))
 	for _, j := range conns {
-		if seen[j] {
+		r := s.Rank(i, j) // panics if j is not a neighbor
+		if d.seen[r] == d.stamp {
+			dupScratchPool.Put(d)
 			panic(fmt.Sprintf("satisfaction: node %d connected to %d twice", i, j))
 		}
-		seen[j] = true
-		rankSum += float64(s.Rank(i, j)) // panics if j is not a neighbor
+		d.seen[r] = d.stamp
+		rankSum += float64(r)
 	}
+	dupScratchPool.Put(d)
 	// Eq. 1: Si = ci/bi + ci(ci−1)/(2 bi Li) − Σ Ri(j)/(bi Li).
 	return ci/bi + ci*(ci-1)/(2*bi*li) - rankSum/(bi*li)
 }
@@ -216,9 +252,10 @@ func (a WeightKey) Edge() graph.Edge { return graph.Edge{U: a.U, V: a.V} }
 // concurrent reads (the weight-list cache is built once, guarded by a
 // sync.Once).
 type Table struct {
-	g    *graph.Graph
-	keys []WeightKey // indexed by graph.EdgeID
-	ord  []uint64    // packed order keys, aligned with keys (see OrderKeys)
+	g       *graph.Graph
+	keys    []WeightKey // indexed by graph.EdgeID
+	ord     []uint64    // packed order keys, aligned with keys (see OrderKeys)
+	workers int         // fan-out of buildSorted (1 = the legacy serial path)
 
 	sortedOnce sync.Once
 	sorted     [][]graph.NodeID // per-node neighbors by descending weight (views into one buffer)
@@ -230,18 +267,33 @@ type Table struct {
 	posInSorted []int32
 }
 
-// NewTable computes weights for every edge of the system's graph.
-func NewTable(s *pref.System) *Table {
+// NewTable computes weights for every edge of the system's graph on
+// the calling goroutine (the workers=1 path of NewTableParallel).
+func NewTable(s *pref.System) *Table { return NewTableParallel(s, 1) }
+
+// NewTableParallel is NewTable with the per-edge weight computation
+// fanned out over `workers` goroutines (0 = GOMAXPROCS) in contiguous
+// EdgeID-range shards. Each shard writes only its own disjoint slice of
+// the two flat EdgeID-indexed arrays and each entry depends only on the
+// immutable System, so the result is bit-identical to NewTable for any
+// worker count; workers <= 1 runs the loop inline with no goroutines.
+// The worker count is retained: the table's lazily-built weight lists
+// (buildSorted) use the same fan-out on first access.
+func NewTableParallel(s *pref.System, workers int) *Table {
 	g := s.Graph()
 	t := &Table{
-		g:    g,
-		keys: make([]WeightKey, g.NumEdges()),
-		ord:  make([]uint64, g.NumEdges()),
+		g:       g,
+		keys:    make([]WeightKey, g.NumEdges()),
+		ord:     make([]uint64, g.NumEdges()),
+		workers: par.Workers(workers),
 	}
-	for id, e := range g.Edges() {
-		t.keys[id] = KeyFor(s, e)
-		t.ord[id] = orderKey(t.keys[id].W)
-	}
+	edges := g.Edges()
+	par.ForEachChunk(len(edges), t.workers, func(lo, hi int) {
+		for id := lo; id < hi; id++ {
+			t.keys[id] = KeyFor(s, edges[id])
+			t.ord[id] = orderKey(t.keys[id].W)
+		}
+	})
 	return t
 }
 
@@ -328,6 +380,13 @@ func (t *Table) WeightListPos(s *pref.System, u graph.NodeID) []int32 {
 	return t.posInSorted[off : int(off)+t.g.Degree(u)]
 }
 
+// buildSorted materializes the per-node weight lists once. Node shards
+// fan out over the table's worker count: every node's output region
+// (its CSR slice of buf/sortedInc/posInSorted and its t.sorted entry)
+// is disjoint from every other node's, each node's sort reads only the
+// immutable keys, and per-worker `perm` scratch lives at the top of
+// the chunk — so the arrays are bit-identical for any worker count,
+// and workers <= 1 is the legacy serial loop verbatim.
 func (t *Table) buildSorted(s *pref.System) {
 	t.sortedOnce.Do(func() {
 		g := s.Graph()
@@ -337,25 +396,27 @@ func (t *Table) buildSorted(s *pref.System) {
 		t.sorted = make([][]graph.NodeID, n)
 		t.sortedInc = make([]graph.EdgeID, total)
 		t.posInSorted = make([]int32, total)
-		perm := make([]int32, g.MaxDegree())
-		for v := 0; v < n; v++ {
-			off := int(g.IncidenceOffset(v))
-			neigh := g.Neighbors(v)
-			incident := g.IncidentEdges(v)
-			p := perm[:len(neigh)]
-			for i := range p {
-				p[i] = int32(i)
+		par.ForEachChunk(n, t.workers, func(lo, hi int) {
+			perm := make([]int32, g.MaxDegree())
+			for v := lo; v < hi; v++ {
+				off := int(g.IncidenceOffset(v))
+				neigh := g.Neighbors(v)
+				incident := g.IncidentEdges(v)
+				p := perm[:len(neigh)]
+				for i := range p {
+					p[i] = int32(i)
+				}
+				sort.Slice(p, func(a, b int) bool {
+					return t.keys[incident[p[a]]].Heavier(t.keys[incident[p[b]]])
+				})
+				list := buf[off : off+len(neigh)]
+				for k, orig := range p {
+					list[k] = neigh[orig]
+					t.sortedInc[off+k] = incident[orig]
+					t.posInSorted[off+int(orig)] = int32(k)
+				}
+				t.sorted[v] = list
 			}
-			sort.Slice(p, func(a, b int) bool {
-				return t.keys[incident[p[a]]].Heavier(t.keys[incident[p[b]]])
-			})
-			list := buf[off : off+len(neigh)]
-			for k, orig := range p {
-				list[k] = neigh[orig]
-				t.sortedInc[off+k] = incident[orig]
-				t.posInSorted[off+int(orig)] = int32(k)
-			}
-			t.sorted[v] = list
-		}
+		})
 	})
 }

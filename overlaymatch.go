@@ -67,6 +67,12 @@ type Spec struct {
 	// Lists gives each peer's explicit preference list: Lists[i] must
 	// be a permutation of i's neighbors, most preferred first.
 	Lists [][]int
+	// Workers fans the edge-weight table construction out over this
+	// many goroutines. The result is bit-identical for every value
+	// (internal/par's deterministic-parallelism contract); <= 1 builds
+	// on the calling goroutine only, which is also the zero-value
+	// default so existing callers spawn nothing new.
+	Workers int
 }
 
 // Network is a built overlay instance, ready to run. It is immutable
@@ -116,7 +122,11 @@ func Build(spec Spec) (*Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("overlaymatch: %w", err)
 	}
-	return &Network{sys: sys, tbl: satisfaction.NewTable(sys)}, nil
+	workers := spec.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	return &Network{sys: sys, tbl: satisfaction.NewTableParallel(sys, workers)}, nil
 }
 
 // MustBuild is Build but panics on error, for statically-correct specs.
