@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short race race-core registry-coverage golden-check vet fuzz fuzz-smoke bench bench-json experiments examples cover clean
+.PHONY: all build check test test-short race race-core registry-coverage golden-check vet fuzz fuzz-smoke bench bench-json bench-check experiments examples cover clean
 
 all: build vet test
 
@@ -11,16 +11,17 @@ all: build vet test
 # detector on the concurrency-bearing packages (the metrics registry,
 # both simnet runtimes, and the fault-injection explorer), the
 # experiment-registry coverage sweep, a short fuzz pass over the
-# parsers, and the golden-output regeneration diff (possible since the
-# golden file is timing-free; any drift in any experiment fails here).
-check: build vet test race-core registry-coverage fuzz-smoke golden-check
+# parsers, the golden-output regeneration diff (possible since the
+# golden file is timing-free; any drift in any experiment fails here),
+# and the benchmark regression gate.
+check: build vet test race-core registry-coverage fuzz-smoke golden-check bench-check
 
 # Vet first so a broken build fails fast instead of surfacing as a
 # confusing mid-run race failure. The dense-core packages (graph, pref,
 # satisfaction, matching, lid) are included: they share read-only CSR
 # slices across goroutines, which the race detector must keep honest.
 race-core: vet
-	$(GO) test -race -short ./internal/par/... ./internal/metrics/... ./internal/simnet/... ./internal/faults/... ./internal/detector/... ./internal/reliable/... ./internal/graph/... ./internal/pref/... ./internal/satisfaction/... ./internal/matching/... ./internal/lid/...
+	$(GO) test -race -short ./internal/par/... ./internal/metrics/... ./internal/simnet/... ./internal/faults/... ./internal/detector/... ./internal/reliable/... ./internal/graph/... ./internal/pref/... ./internal/satisfaction/... ./internal/matching/... ./internal/lid/... ./internal/obs/...
 
 # Every registered experiment must still run under quick parameters —
 # catches experiments silently falling out of the registry.
@@ -57,11 +58,22 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Deterministic machine-readable benchmark trajectory: fixed seeds and
-# iteration counts. PR5 rows pair every headline benchmark with its
-# deterministic-parallel variant (*Par, -workers 8); BENCH_PR4.json
-# stays committed as the previous point of the trajectory.
+# iteration counts. PR6 rows sweep every *Par benchmark over worker
+# counts 1/2/4 (the workload columns must be identical at each count);
+# BENCH_PR4.json and BENCH_PR5.json stay committed as the previous
+# points of the trajectory.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR5.json -phase after -merge -workers 8
+	$(GO) run ./cmd/benchjson -out BENCH_PR6.json -phase after -merge -workers-sweep 1,2,4
+
+# Benchmark regression gate: fresh -quick measurements must stay within
+# tolerance of the committed PR5 baseline (allocation figures gated,
+# workload metrics exact, wall clock report-only), and — the negative
+# control — must FAIL against a synthetically regressed fixture, so a
+# broken gate cannot pass silently.
+bench-check:
+	$(GO) test -count=1 ./cmd/benchjson
+	$(GO) run ./cmd/benchjson -quick -compare BENCH_PR5.json
+	! $(GO) run ./cmd/benchjson -quick -compare cmd/benchjson/testdata/regressed_baseline.json
 
 # The golden experiments file must regenerate to the exact committed
 # bytes: wall-clock columns now live in the manifest/metrics sink, so

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Absolute slack added on top of the percentage tolerance, so rows
+// whose baseline is at or near zero (alloc-free hot paths) don't fail
+// on measurement noise of a handful of bytes.
+const (
+	allocSlack = 2.0
+	byteSlack  = 64.0
+)
+
+// rowKey identifies a row for baseline matching.
+type rowKey struct {
+	Name    string
+	N       int
+	Phase   string
+	Workers int
+}
+
+// compareRows gates fresh measurements against a baseline file's rows.
+// Matching is by (name, n, phase, workers), falling back to workers=0
+// so baselines written before the worker-sweep column existed still
+// match swept rows. Gated hard (failures):
+//
+//   - allocs_per_op and b_per_op may not exceed baseline·(1+tol%) plus
+//     a small absolute slack — allocation counts are deterministic, so
+//     the tolerance only absorbs accounting drift, not real growth;
+//   - workload metrics (edges, matched, weight, ...) must be exactly
+//     equal — they are bit-deterministic, any drift is a correctness
+//     bug, not a perf regression ("workers" is exempt: it names the
+//     sweep point, not the workload).
+//
+// ns_per_op is hardware-dependent: it is gated only when nsTolPct > 0
+// and otherwise reported as a note. Baseline rows with no fresh
+// counterpart (and vice versa) are notes, never failures, so -quick
+// runs can gate against full baselines.
+func compareRows(baseline, fresh []Row, tolPct, nsTolPct float64) (failures, notes []string) {
+	byKey := make(map[rowKey]Row, len(fresh))
+	for _, r := range fresh {
+		byKey[rowKey{r.Name, r.N, r.Phase, r.Workers}] = r
+	}
+	matched := make(map[rowKey]bool, len(fresh))
+	for _, old := range baseline {
+		key := rowKey{old.Name, old.N, old.Phase, old.Workers}
+		cur, ok := byKey[key]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("baseline row %s not measured (skipped)", keyString(key)))
+			continue
+		}
+		matched[key] = true
+		label := keyString(key)
+		gate := func(metric string, oldV, newV, slack float64) {
+			limit := oldV*(1+tolPct/100) + slack
+			if newV > limit {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %s regressed %.1f -> %.1f (limit %.1f at %.0f%% tolerance)",
+					label, metric, oldV, newV, limit, tolPct))
+			}
+		}
+		gate("allocs_per_op", old.AllocsPerOp, cur.AllocsPerOp, allocSlack)
+		gate("b_per_op", old.BPerOp, cur.BPerOp, byteSlack)
+		if nsTolPct > 0 {
+			gate("ns_per_op", old.NsPerOp, cur.NsPerOp, 0)
+		} else if old.NsPerOp > 0 {
+			notes = append(notes, fmt.Sprintf("%s: ns/op %.0f -> %.0f (%+.1f%%, not gated)",
+				label, old.NsPerOp, cur.NsPerOp, 100*(cur.NsPerOp-old.NsPerOp)/old.NsPerOp))
+		}
+		for _, name := range sortedMetricNames(old.Metrics) {
+			if name == "workers" {
+				continue
+			}
+			newV, has := cur.Metrics[name]
+			if !has {
+				failures = append(failures, fmt.Sprintf("%s: metric %q disappeared", label, name))
+				continue
+			}
+			if newV != old.Metrics[name] {
+				failures = append(failures, fmt.Sprintf(
+					"%s: deterministic metric %q changed %g -> %g — workload drift, not a perf delta",
+					label, name, old.Metrics[name], newV))
+			}
+		}
+	}
+	for _, r := range fresh {
+		key := rowKey{r.Name, r.N, r.Phase, r.Workers}
+		if !matched[key] {
+			notes = append(notes, fmt.Sprintf("new row %s has no baseline (skipped)", keyString(key)))
+		}
+	}
+	return failures, notes
+}
+
+// matchBaseline rewrites fresh rows' lookup keys for pre-sweep
+// baselines: when the baseline has no row at the fresh row's worker
+// count but has one at workers=0 (the column did not exist yet), the
+// swept row is gated against that row.
+func matchBaseline(baseline, fresh []Row) []Row {
+	has := make(map[rowKey]bool, len(baseline))
+	for _, r := range baseline {
+		has[rowKey{r.Name, r.N, r.Phase, r.Workers}] = true
+	}
+	out := make([]Row, len(fresh))
+	for i, r := range fresh {
+		out[i] = r
+		if r.Workers != 0 && !has[rowKey{r.Name, r.N, r.Phase, r.Workers}] &&
+			has[rowKey{r.Name, r.N, r.Phase, 0}] {
+			out[i].Workers = 0
+		}
+	}
+	return out
+}
+
+func keyString(k rowKey) string {
+	s := fmt.Sprintf("%s/n=%d", k.Name, k.N)
+	if k.Workers != 0 {
+		s += "/w=" + strconv.Itoa(k.Workers)
+	}
+	if k.Phase != "" && k.Phase != "after" {
+		s += "/" + k.Phase
+	}
+	return s
+}
+
+func sortedMetricNames(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// parseWorkersSweep parses the -workers-sweep flag ("1,2,4").
+func parseWorkersSweep(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		w, err := strconv.Atoi(f)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("benchjson: bad -workers-sweep entry %q", f)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchjson: -workers-sweep is empty")
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkRow(name string, n, workers int, ns, b, allocs float64, metrics map[string]float64) Row {
+	return Row{
+		Name: name, N: n, Phase: "after", Workers: workers, Iters: 1,
+		NsPerOp: ns, BPerOp: b, AllocsPerOp: allocs, Metrics: metrics,
+	}
+}
+
+func TestCompareRowsDetectsAllocRegression(t *testing.T) {
+	base := []Row{mkRow("LIC", 1000, 0, 100, 1000, 10, nil)}
+	// 10 → 20 allocs/op is a 100% regression: past 25% tolerance plus
+	// the 2-alloc slack.
+	fresh := []Row{mkRow("LIC", 1000, 0, 100, 1000, 20, nil)}
+	failures, _ := compareRows(base, fresh, 25, 0)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs_per_op") {
+		t.Fatalf("expected one allocs_per_op failure, got %v", failures)
+	}
+}
+
+func TestCompareRowsRespectsToleranceAndSlack(t *testing.T) {
+	base := []Row{
+		mkRow("LIC", 1000, 0, 100, 1000, 10, nil),
+		mkRow("Sort", 1000, 0, 100, 0, 0, nil), // alloc-free baseline
+	}
+	fresh := []Row{
+		mkRow("LIC", 1000, 0, 500, 1200, 12, nil), // +20% < 25% tolerance; ns 5x not gated
+		mkRow("Sort", 1000, 0, 100, 48, 1.5, nil), // within absolute slack (2 allocs / 64 B)
+	}
+	failures, notes := compareRows(base, fresh, 25, 0)
+	if len(failures) != 0 {
+		t.Fatalf("expected no failures, got %v", failures)
+	}
+	var sawNs bool
+	for _, n := range notes {
+		if strings.Contains(n, "ns/op") {
+			sawNs = true
+		}
+	}
+	if !sawNs {
+		t.Fatalf("expected an ungated ns/op note, got %v", notes)
+	}
+}
+
+func TestCompareRowsGatesNsWhenAsked(t *testing.T) {
+	base := []Row{mkRow("LIC", 1000, 0, 100, 1000, 10, nil)}
+	fresh := []Row{mkRow("LIC", 1000, 0, 500, 1000, 10, nil)}
+	failures, _ := compareRows(base, fresh, 25, 50)
+	if len(failures) != 1 || !strings.Contains(failures[0], "ns_per_op") {
+		t.Fatalf("expected one ns_per_op failure with -ns-tolerance 50, got %v", failures)
+	}
+}
+
+func TestCompareRowsDetectsWorkloadDrift(t *testing.T) {
+	base := []Row{mkRow("LIC", 1000, 0, 100, 1000, 10,
+		map[string]float64{"edges": 4000, "matched": 900, "workers": 8})}
+	fresh := []Row{mkRow("LIC", 1000, 0, 100, 1000, 10,
+		map[string]float64{"matched": 901, "workers": 2})}
+	failures, _ := compareRows(base, fresh, 25, 0)
+	// "edges" disappeared and "matched" drifted; "workers" is exempt.
+	if len(failures) != 2 {
+		t.Fatalf("expected 2 failures (missing metric + drift), got %v", failures)
+	}
+	joined := strings.Join(failures, "\n")
+	if !strings.Contains(joined, `"edges" disappeared`) ||
+		!strings.Contains(joined, `"matched" changed`) {
+		t.Fatalf("unexpected failure set: %v", failures)
+	}
+	if strings.Contains(joined, "workers") {
+		t.Fatalf("the workers sweep label must not be gated: %v", failures)
+	}
+}
+
+func TestMatchBaselineWorkersFallback(t *testing.T) {
+	// Pre-sweep baseline: the Workers column did not exist (0).
+	base := []Row{mkRow("LICPar", 1000, 0, 100, 1000, 10, nil)}
+	fresh := []Row{
+		mkRow("LICPar", 1000, 2, 100, 1000, 10, nil),
+		mkRow("LICPar", 1000, 4, 100, 1000, 30, nil), // regressed vs fallback
+	}
+	adj := matchBaseline(base, fresh)
+	for i, r := range adj {
+		if r.Workers != 0 {
+			t.Fatalf("row %d: expected fallback to workers=0, got %d", i, r.Workers)
+		}
+	}
+	failures, _ := compareRows(base, adj, 25, 0)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs_per_op") {
+		t.Fatalf("expected the regressed swept row to fail vs the workers=0 baseline, got %v", failures)
+	}
+
+	// A baseline that does carry the swept key must keep the key as-is.
+	base2 := []Row{mkRow("LICPar", 1000, 4, 100, 1000, 10, nil)}
+	adj2 := matchBaseline(base2, []Row{mkRow("LICPar", 1000, 4, 100, 1000, 10, nil)})
+	if adj2[0].Workers != 4 {
+		t.Fatalf("swept baseline present, key must not be rewritten: got workers=%d", adj2[0].Workers)
+	}
+}
+
+func TestCompareRowsMissingRowsAreNotes(t *testing.T) {
+	base := []Row{
+		mkRow("LIC", 1000, 0, 100, 1000, 10, nil),
+		mkRow("LIC", 100000, 0, 100, 1000, 10, nil), // dropped by -quick
+	}
+	fresh := []Row{
+		mkRow("LIC", 1000, 0, 100, 1000, 10, nil),
+		mkRow("NewThing", 1000, 0, 100, 1000, 10, nil), // no baseline yet
+	}
+	failures, notes := compareRows(base, fresh, 25, 0)
+	if len(failures) != 0 {
+		t.Fatalf("coverage gaps must be notes, not failures: %v", failures)
+	}
+	joined := strings.Join(notes, "\n")
+	if !strings.Contains(joined, "not measured") || !strings.Contains(joined, "no baseline") {
+		t.Fatalf("expected skip notes on both sides, got %v", notes)
+	}
+}
+
+func TestParseWorkersSweep(t *testing.T) {
+	got, err := parseWorkersSweep("1, 2,4")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("parseWorkersSweep: got %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "x", "2,-1"} {
+		if _, err := parseWorkersSweep(bad); err == nil {
+			t.Fatalf("parseWorkersSweep(%q): expected error", bad)
+		}
+	}
+}

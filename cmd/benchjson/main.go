@@ -2,7 +2,7 @@
 // seeds and fixed iteration counts and writes the results as JSON rows
 // (ns/op, B/op, allocs/op plus headline metrics). It seeds the repo's
 // persisted perf trajectory: `make bench-json` regenerates
-// BENCH_PR4.json, and rows are tagged with a phase ("before"/"after")
+// BENCH_PR6.json, and rows are tagged with a phase ("before"/"after")
 // so a representation change can commit its own measured payoff next
 // to the baseline it replaced.
 //
@@ -11,6 +11,15 @@
 // are fixed in code, so the workload columns (nodes, edges, matched,
 // weight) are bit-deterministic across runs and machines — only the
 // ns/op column moves with the hardware.
+//
+// Regression-gate mode: -compare old.json measures fresh rows and
+// gates them against the baseline file instead of writing output —
+// allocation figures within -tolerance percent, workload metrics
+// exactly equal, ns/op report-only unless -ns-tolerance is set (see
+// compareRows). Non-zero exit on any regression; `make bench-check`
+// wires this into CI. -quick drops the slowest tiers so the gate runs
+// in seconds; -workers-sweep measures the *Par rows at several worker
+// counts (their workload output must be identical at every count).
 package main
 
 import (
@@ -30,16 +39,19 @@ import (
 	"overlaymatch/internal/satisfaction"
 )
 
-// Row is one benchmark measurement.
+// Row is one benchmark measurement. Workers is 0 for serial rows and
+// the sweep point for *Par rows (omitted in JSON when 0, keeping
+// pre-sweep baseline files parseable under the same schema).
 type Row struct {
-	Name       string             `json:"name"`
-	N          int                `json:"n"`
-	Phase      string             `json:"phase"`
-	Iters      int                `json:"iters"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	BPerOp     float64            `json:"b_per_op"`
-	AllocsPerOp float64           `json:"allocs_per_op"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	N           int                `json:"n"`
+	Phase       string             `json:"phase"`
+	Workers     int                `json:"workers,omitempty"`
+	Iters       int                `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // File is the persisted trajectory.
@@ -80,33 +92,38 @@ func measure(iters int, fn func()) (nsPerOp, bPerOp, allocsPerOp float64) {
 		float64(m1.Mallocs-m0.Mallocs) / fi
 }
 
-func main() {
-	out := flag.String("out", "BENCH_PR5.json", "output file")
-	phase := flag.String("phase", "after", "phase tag for the emitted rows (before|after)")
-	merge := flag.Bool("merge", true, "keep rows of other phases already in the output file")
-	workers := flag.Int("workers", 8, "worker count of the *Par rows (serial rows always run; output of both is bit-identical)")
-	flag.Parse()
-
+// runBenchmarks measures the full row set. sweep is the worker counts
+// the *Par rows are measured at; quick drops the n=100000 tier and the
+// larger LICLiteral size so the regression gate runs in seconds.
+func runBenchmarks(phase string, sweep []int, quick bool) []Row {
 	var rows []Row
-	add := func(name string, n, iters int, metrics map[string]float64, fn func()) {
+	add := func(name string, n, workers, iters int, metrics map[string]float64, fn func()) {
 		ns, b, allocs := measure(iters, fn)
 		rows = append(rows, Row{
-			Name: name, N: n, Phase: *phase, Iters: iters,
+			Name: name, N: n, Phase: phase, Workers: workers, Iters: iters,
 			NsPerOp: ns, BPerOp: b, AllocsPerOp: allocs, Metrics: metrics,
 		})
-		fmt.Printf("%-12s n=%-7d %12.0f ns/op %14.0f B/op %10.1f allocs/op\n",
-			name, n, ns, b, allocs)
+		tag := name
+		if workers != 0 {
+			tag = fmt.Sprintf("%s/w=%d", name, workers)
+		}
+		fmt.Printf("%-15s n=%-7d %12.0f ns/op %14.0f B/op %10.1f allocs/op\n",
+			tag, n, ns, b, allocs)
 	}
 
 	// Table construction and the centralized scan, the two headline
 	// targets, at three scales — each serial and with the deterministic
 	// parallel layer (the *Par rows; any observable divergence between
 	// the two is a hard failure, not a benchmark artifact).
-	for _, sz := range []struct{ n, itersTable, itersLIC int }{
+	sizes := []struct{ n, itersTable, itersLIC int }{
 		{1_000, 200, 200},
 		{10_000, 20, 20},
 		{100_000, 5, 5},
-	} {
+	}
+	if quick {
+		sizes = sizes[:2]
+	}
+	for _, sz := range sizes {
 		s := benchSystem(uint64(1000+sz.n), sz.n, 3)
 		g := s.Graph()
 		tbl := satisfaction.NewTable(s)
@@ -116,44 +133,49 @@ func main() {
 			"matched": float64(m.Size()),
 			"weight":  m.Weight(s),
 		}
-		metPar := map[string]float64{
-			"edges":   float64(g.NumEdges()),
-			"matched": float64(m.Size()),
-			"weight":  m.Weight(s),
-			"workers": float64(*workers),
-		}
-		add("NewTable", sz.n, sz.itersTable, met, func() {
+		add("NewTable", sz.n, 0, sz.itersTable, met, func() {
 			_ = satisfaction.NewTable(s)
 		})
-		add("NewTablePar", sz.n, sz.itersTable, metPar, func() {
-			_ = satisfaction.NewTableParallel(s, *workers)
-		})
-		add("LIC", sz.n, sz.itersLIC, met, func() {
+		add("LIC", sz.n, 0, sz.itersLIC, met, func() {
 			_ = matching.LIC(s, tbl)
 		})
-		add("LICPar", sz.n, sz.itersLIC, metPar, func() {
-			if got := matching.LICParallel(s, tbl, *workers); got.Size() != m.Size() {
-				panic("benchjson: LICParallel diverged from LIC")
-			}
-		})
-		// The LIC radix sort in isolation (the tentpole's parallel
+		// The LIC radix sort in isolation (the PR-4 tentpole's parallel
 		// target), on the real order keys of this workload.
 		ids := make([]graph.EdgeID, g.NumEdges())
 		sortMet := map[string]float64{"edges": float64(g.NumEdges())}
-		sortMetPar := map[string]float64{"edges": float64(g.NumEdges()), "workers": float64(*workers)}
-		add("LICSort", sz.n, sz.itersLIC, sortMet, func() {
+		add("LICSort", sz.n, 0, sz.itersLIC, sortMet, func() {
 			for i := range ids {
 				ids[i] = graph.EdgeID(i)
 			}
 			matching.SortEdgeIDs(ids, tbl.OrderKeys(), 1)
 		})
-		add("LICSortPar", sz.n, sz.itersLIC, sortMetPar, func() {
-			for i := range ids {
-				ids[i] = graph.EdgeID(i)
+		for _, workers := range sweep {
+			metPar := map[string]float64{
+				"edges":   float64(g.NumEdges()),
+				"matched": float64(m.Size()),
+				"weight":  m.Weight(s),
+				"workers": float64(workers),
 			}
-			matching.SortEdgeIDs(ids, tbl.OrderKeys(), *workers)
-		})
-		add("PrefBuild", sz.n, max(sz.itersLIC/5, 1), map[string]float64{
+			add("NewTablePar", sz.n, workers, sz.itersTable, metPar, func() {
+				_ = satisfaction.NewTableParallel(s, workers)
+			})
+			add("LICPar", sz.n, workers, sz.itersLIC, metPar, func() {
+				if got := matching.LICParallel(s, tbl, workers); got.Size() != m.Size() {
+					panic("benchjson: LICParallel diverged from LIC")
+				}
+			})
+			sortMetPar := map[string]float64{
+				"edges":   float64(g.NumEdges()),
+				"workers": float64(workers),
+			}
+			add("LICSortPar", sz.n, workers, sz.itersLIC, sortMetPar, func() {
+				for i := range ids {
+					ids[i] = graph.EdgeID(i)
+				}
+				matching.SortEdgeIDs(ids, tbl.OrderKeys(), workers)
+			})
+		}
+		add("PrefBuild", sz.n, 0, max(sz.itersLIC/5, 1), map[string]float64{
 			"edges": float64(g.NumEdges()),
 		}, func() {
 			if _, err := pref.Build(g, pref.NewRandomMetric(rng.New(uint64(3000+sz.n))), pref.UniformQuota(3)); err != nil {
@@ -164,10 +186,14 @@ func main() {
 
 	// The literal Algorithm-2 loop, whose pool handling is the
 	// complexity-class target (O(m²) rescans → O(m·Δ) incremental).
-	for _, sz := range []struct{ n, iters int }{
+	literal := []struct{ n, iters int }{
 		{1_000, 5},
 		{3_000, 2},
-	} {
+	}
+	if quick {
+		literal = literal[:1]
+	}
+	for _, sz := range literal {
 		s := benchSystem(uint64(2000+sz.n), sz.n, 3)
 		tbl := satisfaction.NewTable(s)
 		m := matching.LIC(s, tbl)
@@ -175,12 +201,58 @@ func main() {
 			"edges":   float64(s.Graph().NumEdges()),
 			"matched": float64(m.Size()),
 		}
-		add("LICLiteral", sz.n, sz.iters, met, func() {
+		add("LICLiteral", sz.n, 0, sz.iters, met, func() {
 			got := matching.LICLiteral(s, tbl, rng.New(7))
 			if !got.Equal(m) {
 				panic("benchjson: LICLiteral diverged from LIC")
 			}
 		})
+	}
+	return rows
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR6.json", "output file")
+	phase := flag.String("phase", "after", "phase tag for the emitted rows (before|after)")
+	merge := flag.Bool("merge", true, "keep rows of other phases already in the output file")
+	sweepFlag := flag.String("workers-sweep", "8", "comma-separated worker counts for the *Par rows (workload output must be identical at every count)")
+	quick := flag.Bool("quick", false, "drop the slowest tiers (n=100000 and LICLiteral n=3000)")
+	compare := flag.String("compare", "", "baseline JSON to gate fresh measurements against instead of writing -out; exits 1 on regression")
+	tolerance := flag.Float64("tolerance", 25, "allowed regression of allocs_per_op and b_per_op vs -compare, in percent")
+	nsTolerance := flag.Float64("ns-tolerance", 0, "allowed ns/op regression in percent; 0 (the default) reports wall clock without gating it, since it is hardware-dependent")
+	flag.Parse()
+
+	sweep, err := parseWorkersSweep(*sweepFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rows := runBenchmarks(*phase, sweep, *quick)
+
+	if *compare != "" {
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		var baseline File
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *compare, err)
+			os.Exit(2)
+		}
+		failures, notes := compareRows(baseline.Rows, matchBaseline(baseline.Rows, rows), *tolerance, *nsTolerance)
+		for _, n := range notes {
+			fmt.Printf("note: %s\n", n)
+		}
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "FAIL: %s\n", f)
+		}
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) vs %s\n", len(failures), *compare)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: no regressions vs %s (%d fresh rows)\n", *compare, len(rows))
+		return
 	}
 
 	file := File{
@@ -207,6 +279,9 @@ func main() {
 		}
 		if a.N != b.N {
 			return a.N < b.N
+		}
+		if a.Workers != b.Workers {
+			return a.Workers < b.Workers
 		}
 		return a.Phase < b.Phase // "after" sorts before "before"
 	})

@@ -47,6 +47,7 @@ func main() {
 		detStr  = flag.String("detector", "", "failure-detector spec for the self-healing experiment (E16): on | hb=5,phi=8,... (empty = default)")
 		hbInt   = flag.Float64("hb-interval", 0, "override E16's heartbeat interval (virtual time units)")
 		phiThr  = flag.Float64("phi-threshold", 0, "override E16's phi suspicion threshold")
+		probeIv = flag.Float64("probe-interval", 0, "virtual-time spacing of the stability probes (E17); 0 = one probe per unit-latency round")
 	)
 	flag.Parse()
 
@@ -55,6 +56,9 @@ func main() {
 	}
 	if *hbInt < 0 || *phiThr < 0 {
 		fail("-hb-interval and -phi-threshold must be positive")
+	}
+	if *probeIv < 0 {
+		fail("-probe-interval must be non-negative")
 	}
 
 	switch *metFmt {
@@ -104,7 +108,7 @@ func main() {
 	}
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers,
-		RTO: *rto, AdaptiveRTO: *adapt}
+		RTO: *rto, AdaptiveRTO: *adapt, ProbeInterval: *probeIv}
 	if *detStr != "" || *hbInt > 0 || *phiThr > 0 {
 		det, err := detector.Parse(*detStr)
 		if err != nil {

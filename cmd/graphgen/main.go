@@ -18,6 +18,7 @@ import (
 
 	"overlaymatch/internal/gen"
 	"overlaymatch/internal/graph"
+	"overlaymatch/internal/obs"
 	"overlaymatch/internal/pref"
 	"overlaymatch/internal/rng"
 )
@@ -39,11 +40,30 @@ func main() {
 		quota    = flag.Int("b", 3, "connection quota for -format workload")
 		out      = flag.String("out", "", "output file (default stdout)")
 		showStat = flag.Bool("stats", false, "print degree statistics to stderr")
+		spansOut = flag.String("spans", "", "write a span trace of the generation pipeline to this file")
+		spansFmt = flag.String("spans-format", "tree", "span trace format: ndjson | chrome | tree")
 	)
 	flag.Parse()
 
+	switch *spansFmt {
+	case "ndjson", "chrome", "tree":
+	default:
+		fail("unknown -spans-format %q", *spansFmt)
+	}
+	// The pipeline trace uses a standalone single-node recorder: no
+	// virtual clock exists here, so spans carry time 0 and the Lamport
+	// stamps order the phases.
+	var rec *obs.Recorder
+	if *spansOut != "" {
+		rec = obs.NewRecorder(1)
+	}
+	phase := func(kind, detail string) obs.SpanID {
+		return rec.OpenSpan(0, kind, detail, 0)
+	}
+
 	src := rng.New(*seed)
 	var g *graph.Graph
+	genSpan := phase("graphgen.generate", fmt.Sprintf("topology=%s n=%d seed=%d", *topology, *n, *seed))
 	switch *topology {
 	case "gnp":
 		g = gen.GNP(src, *n, *p)
@@ -69,6 +89,7 @@ func main() {
 	default:
 		fail("unknown topology %q", *topology)
 	}
+	rec.CloseSpan(0, genSpan, fmt.Sprintf("m=%d", g.NumEdges()), 0)
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -80,6 +101,7 @@ func main() {
 		w = f
 	}
 
+	writeSpan := phase("graphgen.write", "format="+*format)
 	switch *format {
 	case "edgelist":
 		if err := graph.WriteEdgeList(w, g); err != nil {
@@ -91,6 +113,7 @@ func main() {
 			fail("%v", err)
 		}
 	case "workload":
+		prefSpan := phase("graphgen.prefs", fmt.Sprintf("metric=%s b=%d", *metric, *quota))
 		var m pref.Metric
 		switch *metric {
 		case "random":
@@ -110,11 +133,29 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
+		rec.CloseSpan(0, prefSpan, "built", 0)
 		if err := pref.WriteJSON(w, sys); err != nil {
 			fail("%v", err)
 		}
 	default:
 		fail("unknown format %q", *format)
+	}
+	rec.CloseSpan(0, writeSpan, "", 0)
+
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := rec.WriteFormat(f, *spansFmt); err != nil {
+			f.Close()
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "graphgen: wrote span trace (%s, %d events) to %s\n",
+			*spansFmt, rec.Len(), *spansOut)
 	}
 
 	if *showStat {

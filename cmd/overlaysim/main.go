@@ -26,6 +26,7 @@ import (
 	"overlaymatch/internal/lid"
 	"overlaymatch/internal/matching"
 	"overlaymatch/internal/metrics"
+	"overlaymatch/internal/obs"
 	"overlaymatch/internal/pref"
 	"overlaymatch/internal/reliable"
 	"overlaymatch/internal/rng"
@@ -54,6 +55,9 @@ func main() {
 		dotOut   = flag.String("dot", "", "write the final overlay as Graphviz DOT to this file")
 		traceOut = flag.String("tracelog", "", "write the message trace to this file (event or goroutine runtime)")
 		traceFmt = flag.String("traceformat", "log", "trace file format: log | ndjson")
+		spansOut = flag.String("trace-spans", "", "write the causal span trace (Lamport clocks, protocol spans) to this file")
+		spansFmt = flag.String("trace-spans-format", "ndjson", "span trace format: ndjson | chrome | tree")
+		probeInt = flag.Float64("probe-interval", 0, "virtual-time spacing of per-round stability probes (0 = off; event runtime only)")
 		metOut   = flag.Bool("metrics", false, "print the run's metric snapshot after the report")
 		metFmt   = flag.String("metrics-format", "text", "metric snapshot format: text | json | prom")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -134,12 +138,27 @@ func main() {
 	if *runtime_ == "centralized" && (!spec.IsZero() || *reliab || det.Enabled()) {
 		fail("-faults/-reliable/-detector require a distributed runtime (event or goroutine)")
 	}
+	if *probeInt < 0 {
+		fail("-probe-interval must be non-negative")
+	}
+	if *probeInt > 0 && *runtime_ != "event" {
+		fail("-probe-interval hooks the event run loop and needs -runtime event")
+	}
+	if *spansOut != "" && *runtime_ == "centralized" {
+		fail("-trace-spans requires a distributed runtime (event or goroutine)")
+	}
+	switch *spansFmt {
+	case "ndjson", "chrome", "tree":
+	default:
+		fail("unknown -trace-spans-format %q", *spansFmt)
+	}
 	fseed := *faultSd
 	if fseed == 0 {
 		fseed = *seed ^ 0x5fa715ca11edc0de
 	}
 	opts := reportOpts{seed: *seed, runtime: *runtime_, jitter: *jitter,
 		verbose: *verbose, dotPath: *dotOut, tracePath: *traceOut, traceFormat: *traceFmt,
+		spansPath: *spansOut, spansFormat: *spansFmt, probeInterval: *probeInt,
 		showMetrics: *metOut, metricsFormat: *metFmt,
 		faults: spec, faultsSeed: fseed, reliable: *reliab, rto: *rto,
 		adaptiveRTO: *adaptRTO, det: det, workers: *workers}
@@ -236,6 +255,9 @@ type reportOpts struct {
 	dotPath       string
 	tracePath     string
 	traceFormat   string // log | ndjson
+	spansPath     string
+	spansFormat   string  // ndjson | chrome | tree
+	probeInterval float64 // 0 = probing off
 	showMetrics   bool
 	metricsFormat string // text | json | prom
 	faults        faults.Spec
@@ -328,6 +350,17 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 	if opts.showMetrics {
 		reg = metrics.New()
 	}
+	var rec *obs.Recorder
+	if opts.spansPath != "" {
+		rec = obs.NewRecorder(g.NumNodes())
+	}
+	// The probe series need a registry even when -metrics is off; a
+	// private one keeps the report output unchanged in that case.
+	var prober *obs.Prober
+	probeReg := reg
+	if opts.probeInterval > 0 && probeReg == nil {
+		probeReg = metrics.New()
+	}
 	fmt.Printf("acyclic=%v; guarantee: LID achieves >= %.4f of optimal total satisfaction (Theorem 3)\n\n",
 		pref.IsAcyclic(sys), satisfaction.Theorem3Bound(maxInt(sys.MaxQuota(), 1)))
 
@@ -383,32 +416,49 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 	switch runtime_ {
 	case "event":
 		var st simnet.Stats
+		ropts := simnet.Options{
+			Seed:    seed,
+			Latency: latency(jitter),
+			Trace:   traceFn,
+			Metrics: reg,
+			Policy:  policy,
+			Obs:     rec,
+		}
 		if opts.reliable || opts.det.Enabled() {
 			nodes := lid.NewNodes(sys, tbl)
-			runner := simnet.NewRunner(g.NumNodes(), simnet.Options{
-				Seed:    seed,
-				Latency: latency(jitter),
-				Trace:   traceFn,
-				Metrics: reg,
-				Policy:  policy,
-			})
+			// The sampler closes over the runner (for the cumulative send
+			// totals), which does not exist until after the options are
+			// final — hence the two-step wiring, mirroring RunEventProbed.
+			var runner *simnet.Runner
+			if opts.probeInterval > 0 {
+				optimum := matching.LIC(sys, tbl).Weight(sys)
+				sampler := lid.StabilitySampler(sys, tbl, nodes, func() (int64, int64) {
+					return runner.SentTotals()
+				})
+				prober = obs.NewProber(probeReg, opts.probeInterval, g.NumEdges(), optimum, sampler)
+				ropts.Probe = prober.Probe
+				ropts.ProbeInterval = opts.probeInterval
+			}
+			runner = simnet.NewRunner(g.NumNodes(), ropts)
 			s, err := runner.Run(wrap(lid.Handlers(nodes)))
 			if err != nil {
 				fail("run: %v", err)
 			}
+			prober.PublishSummary(probeReg, nil)
 			m, err := lid.BuildMatching(nodes)
 			if err != nil {
 				fail("run: %v", err)
 			}
 			result, st = m, s
+		} else if opts.probeInterval > 0 {
+			res, p, err := lid.RunEventProbed(sys, tbl, ropts, opts.probeInterval, probeReg)
+			if err != nil {
+				fail("run: %v", err)
+			}
+			prober = p
+			result, st = res.Matching, res.Stats
 		} else {
-			res, err := lid.RunEvent(sys, tbl, simnet.Options{
-				Seed:    seed,
-				Latency: latency(jitter),
-				Trace:   traceFn,
-				Metrics: reg,
-				Policy:  policy,
-			})
+			res, err := lid.RunEvent(sys, tbl, ropts)
 			if err != nil {
 				fail("run: %v", err)
 			}
@@ -419,6 +469,12 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 			st.TotalSent(), st.SentByKind["PROP"], st.SentByKind["REJ"],
 			float64(st.TotalSent())/float64(g.NumNodes()), st.MaxSentByNode())
 		fmt.Printf("  virtual time to quiescence: %.2f\n", st.FinalTime)
+		if prober != nil {
+			s := prober.RoundsToEps(nil)
+			fmt.Printf("  stability: %d probes every %.1f; rounds to eps 0.1/0.01/0.001/0: %.0f / %.0f / %.0f / %.0f (-1 = never)\n",
+				len(prober.Curve()), opts.probeInterval,
+				s[obs.EpsKey(0.1)], s[obs.EpsKey(0.01)], s[obs.EpsKey(0.001)], s[obs.EpsKey(0)])
+		}
 		reportFaults(st)
 	case "goroutine":
 		var st simnet.Stats
@@ -433,6 +489,9 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 			}
 			if policy != nil {
 				runner.SetPolicy(policy)
+			}
+			if rec != nil {
+				runner.SetObserver(rec)
 			}
 			s, err := runner.Run(wrap(lid.Handlers(nodes)))
 			if err != nil {
@@ -449,6 +508,7 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 				Trace:   traceFn,
 				Metrics: reg,
 				Policy:  policy,
+				Obs:     rec,
 			})
 			if err != nil {
 				fail("run: %v", err)
@@ -497,6 +557,13 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 		writeFileWith(opts.tracePath, write)
 		fmt.Printf("wrote message trace (%s, %d deliveries) to %s\n",
 			opts.traceFormat, collector.Len(), opts.tracePath)
+	}
+	if opts.spansPath != "" {
+		writeFileWith(opts.spansPath, func(w io.Writer) error {
+			return rec.WriteFormat(w, opts.spansFormat)
+		})
+		fmt.Printf("wrote span trace (%s, %d events) to %s\n",
+			opts.spansFormat, rec.Len(), opts.spansPath)
 	}
 	if reg != nil {
 		fmt.Println("\nmetrics:")

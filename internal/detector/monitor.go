@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"overlaymatch/internal/metrics"
+	"overlaymatch/internal/obs"
 	"overlaymatch/internal/simnet"
 )
 
@@ -14,11 +15,17 @@ type hbMsg struct{}
 // Kind implements simnet.Kinder.
 func (hbMsg) Kind() string { return "HB" }
 
+// WireSize implements simnet.Sizer: an 8-byte header plus opcode.
+func (hbMsg) WireSize() int { return 9 }
+
 // hbAckMsg answers a heartbeat.
 type hbAckMsg struct{}
 
 // Kind implements simnet.Kinder.
 func (hbAckMsg) Kind() string { return "HB-ACK" }
+
+// WireSize implements simnet.Sizer.
+func (hbAckMsg) WireSize() int { return 9 }
 
 // tickToken is the Monitor's private timer token.
 type tickToken struct{}
@@ -42,6 +49,7 @@ type peerView struct {
 	lastHeard  int // tick of the last arrival of any kind
 	lastSample int // tick of the last sampled (HB/HB-ACK) arrival
 	suspected  bool
+	span       obs.SpanID // telemetry: the open suspicion->restore arc
 }
 
 // Monitor wraps an inner handler with heartbeat failure detection of a
@@ -132,6 +140,11 @@ func (m *Monitor) evidence(ctx simnet.Context, peer int, sample bool) {
 		pv.suspected = false
 		m.Restores++
 		m.Events = append(m.Events, SuspectEvent{Peer: peer, Tick: m.tick, Time: ctx.Time(), Restore: true})
+		// Telemetry: the restore closes the suspicion arc.
+		if rec := simnet.ObserverOf(ctx); rec != nil {
+			rec.CloseSpan(ctx.ID(), pv.span, "restored", ctx.Time())
+			pv.span = 0
+		}
 		// The gap that just ended spans the whole outage; feeding it to
 		// the estimator would poison the window, so only re-anchor.
 		pv.lastSample = m.tick
@@ -162,6 +175,12 @@ func (m *Monitor) onTick(ctx simnet.Context) {
 				pv.suspected = true
 				m.Suspicions++
 				m.Events = append(m.Events, SuspectEvent{Peer: p, Tick: m.tick, Time: ctx.Time()})
+				// Telemetry: a suspicion opens an arc that the next
+				// evidence from the peer (restore) closes; arcs still
+				// open at run end mark unrecovered peers.
+				if rec := simnet.ObserverOf(ctx); rec != nil {
+					pv.span = rec.OpenSpan(ctx.ID(), "detector.suspicion", fmt.Sprintf("peer=%d", p), ctx.Time())
+				}
 				if sh, ok := m.inner.(simnet.SuspectHandler); ok {
 					sh.HandleSuspect(ctx, p)
 				}
@@ -245,4 +264,31 @@ func PublishMetrics(reg *metrics.Registry, monitors []*Monitor) {
 	events := reg.Family("detector_events_total", "verdict transitions by kind", "kind")
 	events.With("suspect").Add(int64(TotalSuspicions(monitors)))
 	events.With("restore").Add(int64(TotalRestores(monitors)))
+}
+
+// PublishVerdicts scores every monitor verdict against ground truth
+// and publishes the totals — the registry-backed form of the verdict
+// log, so accuracy checks (experiment E16's zero-false-suspicion
+// control) read instruments instead of scraping Events. wasDown
+// reports whether peer was actually down at the given virtual time;
+// a nil wasDown means "nothing was ever down", making every suspicion
+// false — the correct truth function for a fault-free control run.
+// Nil-safe on reg.
+func PublishVerdicts(reg *metrics.Registry, monitors []*Monitor, wasDown func(peer int, at float64) bool) {
+	if reg == nil {
+		return
+	}
+	var suspicions, restores, falseSusp int
+	for _, m := range monitors {
+		suspicions += m.Suspicions
+		restores += m.Restores
+		for _, ev := range m.Events {
+			if !ev.Restore && (wasDown == nil || !wasDown(ev.Peer, ev.Time)) {
+				falseSusp++
+			}
+		}
+	}
+	reg.Counter("detector_suspicions_total", "suspect verdicts issued").Add(int64(suspicions))
+	reg.Counter("detector_restores_total", "restore verdicts issued").Add(int64(restores))
+	reg.Counter("detector_false_suspicions_total", "suspect verdicts contradicting ground truth").Add(int64(falseSusp))
 }

@@ -1,0 +1,73 @@
+package detector
+
+import (
+	"testing"
+
+	"overlaymatch/internal/metrics"
+	"overlaymatch/internal/obs"
+	"overlaymatch/internal/simnet"
+)
+
+// TestSuspicionSpansAndVerdicts drives the healing-crash scenario of
+// TestSuspectAndRestore with a telemetry recorder attached: each
+// suspicion opens a detector.suspicion span that the restore closes,
+// and PublishVerdicts scores the verdict log against ground truth.
+// Node 1 is cut off during the window, so node 0's suspicion of it is
+// correct while node 1's mirror-image suspicion of the healthy node 0
+// is false — the asymmetry the registry must expose.
+func TestSuspicionSpansAndVerdicts(t *testing.T) {
+	const crashStart, crashEnd = 50.0, 200.0
+	recs := []*recorder{{}, {}}
+	mons := Wrap([]simnet.Handler{recs[0], recs[1]}, [][]int{{1}, {0}}, Config{Interval: 5, Ticks: 80})
+	rec := obs.NewRecorder(2)
+	r := simnet.NewRunner(2, simnet.Options{
+		Seed:    3,
+		Latency: simnet.ExponentialLatency(0.5),
+		Policy:  cutWindow{node: 1, start: crashStart, end: crashEnd},
+		Quiesce: true,
+		Obs:     rec,
+	})
+	if _, err := r.Run(Handlers(mons)); err != nil {
+		t.Fatal(err)
+	}
+	opens, closes := 0, 0
+	for _, e := range rec.Events() {
+		switch {
+		case e.Type == obs.EvOpen && e.Kind == "detector.suspicion":
+			opens++
+		case e.Type == obs.EvClose:
+			closes++
+		}
+	}
+	if want := TotalSuspicions(mons); opens != want || opens == 0 {
+		t.Fatalf("suspicion spans opened = %d, want %d (nonzero)", opens, want)
+	}
+	if want := TotalRestores(mons); closes != want {
+		t.Fatalf("suspicion spans closed = %d, want %d", closes, want)
+	}
+
+	// Scored against the real crash window (the closure mirrors
+	// faults.Spec.NodeDownAt, which package boundaries keep out of this
+	// test — faults imports dlid imports detector): node 0's verdict
+	// about node 1 is true, node 1's about node 0 is false.
+	wasDown := func(peer int, at float64) bool {
+		return peer == 1 && at >= crashStart && at < crashEnd
+	}
+	reg := metrics.New()
+	PublishVerdicts(reg, mons, wasDown)
+	if got := reg.Counter("detector_suspicions_total", "").Value(); got != int64(TotalSuspicions(mons)) {
+		t.Fatalf("suspicions published = %d, want %d", got, TotalSuspicions(mons))
+	}
+	if got := reg.Counter("detector_false_suspicions_total", "").Value(); got != 1 {
+		t.Fatalf("false suspicions = %d, want exactly node 1's verdict about node 0", got)
+	}
+
+	// A nil truth function means nothing was ever down: every suspicion
+	// is false — the control-run scoring of experiment E16.
+	ctrl := metrics.New()
+	PublishVerdicts(ctrl, mons, nil)
+	if got := ctrl.Counter("detector_false_suspicions_total", "").Value(); got != int64(TotalSuspicions(mons)) {
+		t.Fatalf("nil truth: false = %d, want all %d", got, TotalSuspicions(mons))
+	}
+	PublishVerdicts(nil, mons, nil) // nil registry must be a no-op
+}

@@ -51,6 +51,7 @@ import (
 
 	"overlaymatch/internal/graph"
 	"overlaymatch/internal/matching"
+	"overlaymatch/internal/obs"
 	"overlaymatch/internal/pref"
 	"overlaymatch/internal/satisfaction"
 	"overlaymatch/internal/simnet"
@@ -114,6 +115,10 @@ func (m Msg) Kind() string {
 	}
 	return fmt.Sprintf("dlid(%d)", m.K)
 }
+
+// WireSize implements simnet.Sizer: an 8-byte header plus the opcode
+// byte plus the two uint32 sequencing fields.
+func (Msg) WireSize() int { return 17 }
 
 // peer-local view of one neighbor.
 type neighborState struct {
@@ -187,6 +192,11 @@ type Node struct {
 	Preemptions int // connections dropped for a better proposer (Rematch)
 	SynthByes   int // suspected/dead peers handled as synthesized BYEs
 	Resyncs     int // restored peers re-greeted with HELLO
+	Epochs      int // repair epochs opened (capacity-gain events)
+
+	// repairSpan is the open telemetry span of the current repair epoch
+	// (0 when none, or when no recorder is attached).
+	repairSpan obs.SpanID
 }
 
 // NewNode builds the maintenance node for id, starting from the given
@@ -363,6 +373,7 @@ func (n *Node) HandleMessage(ctx simnet.Context, from int, msg simnet.Message) {
 	case kDrop:
 		n.onDrop(ctx, p, m.Ver)
 	}
+	n.noteRepair(ctx)
 }
 
 // HandleSuspect implements simnet.SuspectHandler: a failure detector
@@ -390,6 +401,7 @@ func (n *Node) peerDown(ctx simnet.Context, peer graph.NodeID) {
 	}
 	n.SynthByes++
 	n.onBye(ctx, p)
+	n.noteRepair(ctx)
 }
 
 // HandleRestore implements simnet.SuspectHandler: a previously
@@ -423,6 +435,12 @@ func (n *Node) leave(ctx simnet.Context) {
 		panic(fmt.Sprintf("dlid: CmdLeave to dead node %d", n.id))
 	}
 	n.alive = false
+	if n.repairSpan != 0 {
+		if rec := simnet.ObserverOf(ctx); rec != nil {
+			rec.CloseSpan(n.id, n.repairSpan, "left", ctx.Time())
+		}
+		n.repairSpan = 0
+	}
 	for i := range n.order { // weight-list order: deterministic
 		ns := &n.state[i]
 		if ns.alive {
@@ -685,10 +703,40 @@ func (n *Node) onDecline(ctx simnet.Context, p int32, v uint32) {
 
 // newEpoch clears declined memory and proposes afresh.
 func (n *Node) newEpoch(ctx simnet.Context) {
+	n.Epochs++
+	if rec := simnet.ObserverOf(ctx); rec != nil {
+		// A new capacity gain supersedes the running repair epoch: close
+		// its span and open the next. Spans still open at run end mark
+		// repairs unsettled at quiescence (there should be none).
+		if n.repairSpan != 0 {
+			rec.CloseSpan(n.id, n.repairSpan, "superseded", ctx.Time())
+		}
+		n.repairSpan = rec.OpenSpan(n.id, "dlid.repair",
+			fmt.Sprintf("epoch=%d", n.Epochs), ctx.Time())
+	}
 	for i := range n.state {
 		n.state[i].declined = false
 	}
 	n.proposeMore(ctx)
+}
+
+// noteRepair closes the open repair-epoch span once the node has no
+// outstanding proposals (the epoch locally settled). The state scan
+// only runs while a span is open, so runs without a recorder never pay
+// for it.
+func (n *Node) noteRepair(ctx simnet.Context) {
+	if n.repairSpan == 0 {
+		return
+	}
+	for i := range n.state {
+		if n.state[i].pending {
+			return
+		}
+	}
+	if rec := simnet.ObserverOf(ctx); rec != nil {
+		rec.CloseSpan(n.id, n.repairSpan, "settled", ctx.Time())
+	}
+	n.repairSpan = 0
 }
 
 // proposeMore sends one PROP per free slot to the best eligible

@@ -6,6 +6,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	mreg "overlaymatch/internal/metrics"
+	"overlaymatch/internal/obs"
 )
 
 // The experiment runners enforce the paper's bounds internally
@@ -16,8 +19,8 @@ func quickCfg() Config { return Config{Seed: 12345, Quick: true} }
 
 func TestAllRegistryComplete(t *testing.T) {
 	exps := All()
-	if len(exps) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(exps))
+	if len(exps) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(exps))
 	}
 	for i, e := range exps {
 		want := "E" + strconv.Itoa(i+1)
@@ -324,13 +327,35 @@ func TestE16(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
 	for _, line := range lines[1:] {
 		c := strings.Split(line, ",")
-		lat, err := strconv.ParseFloat(c[8], 64)
+		lat, err := strconv.ParseFloat(c[9], 64)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if lat <= 0 {
 			t.Fatalf("no detection latency measured in %q", line)
 		}
+	}
+}
+
+func TestE17(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Metrics = mreg.New()
+	tables, err := E17StabilityCurve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("E17 should produce curve + summary tables, got %d", len(tables))
+	}
+	if tables[1].NumRows() != 3 {
+		t.Fatalf("E17 summary rows = %d, want 3 topologies", tables[1].NumRows())
+	}
+	// The runner's hard errors enforce monotonicity, terminal stability
+	// and worker determinism; here we pin that the canonical summary
+	// reached the sink registry for the manifest to collect.
+	g := cfg.Metrics.Gauge(obs.SummaryPrefix+obs.EpsKey(0), "")
+	if g.Value() <= 0 {
+		t.Fatalf("stability summary gauge not published (eps=0 at %v)", g.Value())
 	}
 }
 

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"io"
 	"runtime"
+	"strings"
 	"time"
 
 	mreg "overlaymatch/internal/metrics"
+	"overlaymatch/internal/obs"
 )
 
 // Manifest records the provenance of one suite run: what was run, with
@@ -26,6 +28,11 @@ type Manifest struct {
 	// Metrics is the shared-registry snapshot (deterministic key order),
 	// null when the run had no sink attached.
 	Metrics json.RawMessage `json:"metrics"`
+	// Stability is the rounds-to-ε convergence summary, extracted from
+	// the stability_rounds_to_eps_* gauges the probed experiments (E17)
+	// publish: ε → first probe time with blocking pairs ≤ ε·|E|
+	// (-1 = never reached). Omitted when no probed experiment ran.
+	Stability map[string]float64 `json:"stability_rounds_to_eps,omitempty"`
 }
 
 // ExperimentMeta is one experiment's row in the manifest.
@@ -59,11 +66,21 @@ func (m *Manifest) Record(e Experiment, wall time.Duration) {
 // and emits indented JSON.
 func (m *Manifest) Write(w io.Writer, reg *mreg.Registry) error {
 	if reg != nil {
-		raw, err := reg.Snapshot().MarshalJSON()
+		snap := reg.Snapshot()
+		raw, err := snap.MarshalJSON()
 		if err != nil {
 			return err
 		}
 		m.Metrics = raw
+		for _, smp := range snap.Samples {
+			if smp.Kind != mreg.KindGauge || !strings.HasPrefix(smp.Name, obs.SummaryPrefix) {
+				continue
+			}
+			if m.Stability == nil {
+				m.Stability = make(map[string]float64)
+			}
+			m.Stability[strings.TrimPrefix(smp.Name, obs.SummaryPrefix)] = smp.Value
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -36,6 +36,7 @@ func All() []Experiment {
 		{"E14", "Distributed churn maintenance protocol (future-work extension)", E14Maintenance},
 		{"E15", "Fault-injection sweep through the reliability substrate", E15FaultSweep},
 		{"E16", "Self-healing under crash windows (detector + repair)", E16SelfHealing},
+		{"E17", "Convergence telemetry: rounds vs blocking pairs", E17StabilityCurve},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idLess(exps[i].ID, exps[j].ID) })
 	return exps

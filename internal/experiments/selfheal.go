@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 
+	"overlaymatch/internal/detector"
 	"overlaymatch/internal/dlid"
 	"overlaymatch/internal/faults"
 	"overlaymatch/internal/matching"
+	mreg "overlaymatch/internal/metrics"
 	"overlaymatch/internal/satisfaction"
 	"overlaymatch/internal/simnet"
 	"overlaymatch/internal/stats"
@@ -36,7 +38,7 @@ const (
 // layer is observationally free when nothing fails.
 func E16SelfHealing(cfg Config) ([]*stats.Table, error) {
 	sweep := stats.NewTable("E16: self-healing under crash windows (cut [40,260), Rematch + detector)",
-		"topology", "b", "runs", "healed = LIC", "suspicions", "restores",
+		"topology", "b", "runs", "healed = LIC", "suspicions", "restores", "false susp",
 		"synth byes", "resyncs", "detect latency", "repair frames")
 	control := stats.NewTable("E16 control: zero faults, detector on vs off",
 		"topology", "b", "runs", "false suspicions", "identical matching", "hb frames")
@@ -49,6 +51,11 @@ func E16SelfHealing(cfg Config) ([]*stats.Table, error) {
 				latSum                                                        float64
 				latN                                                          int
 			)
+			// vreg accumulates the registry-scored verdicts of the cell:
+			// every suspicion is checked against the crash-window ground
+			// truth (faults.Spec.NodeDownAt). The victim's own mirror-image
+			// suspicions of its healthy neighbors land in the false column.
+			vreg := mreg.New()
 			for r := 0; r < runs; r++ {
 				w, err := buildWorkload(cfg.Seed^uint64(16*n)^uint64(r)*7919, topo, metrics()[0], n, b)
 				if err != nil {
@@ -84,6 +91,8 @@ func E16SelfHealing(cfg Config) ([]*stats.Table, error) {
 				restores += res.Restores
 				synthByes += res.SynthByes
 				resyncs += res.Resyncs
+				detector.PublishVerdicts(vreg, res.Monitors, spec.NodeDownAt)
+				detector.PublishVerdicts(cfg.Metrics, res.Monitors, spec.NodeDownAt)
 				for _, mon := range res.Monitors {
 					for _, ev := range mon.Events {
 						if ev.Peer == crash && !ev.Restore && ev.Time >= e16CrashStart {
@@ -103,7 +112,12 @@ func E16SelfHealing(cfg Config) ([]*stats.Table, error) {
 			if latN > 0 {
 				lat = latSum / float64(latN)
 			}
-			sweep.AddRowf(topo.name, b, runs, equal, suspicions, restores,
+			falseSusp := int(vreg.Counter("detector_false_suspicions_total", "").Value())
+			if got := int(vreg.Counter("detector_suspicions_total", "").Value()); got != suspicions {
+				return nil, fmt.Errorf("E16: %s/b=%d registry counted %d suspicions, monitors say %d",
+					topo.name, b, got, suspicions)
+			}
+			sweep.AddRowf(topo.name, b, runs, equal, suspicions, restores, falseSusp,
 				synthByes, resyncs, lat, repairFrames/runs)
 			if equal != runs {
 				return nil, fmt.Errorf("E16: %s/b=%d healed into a non-LIC matching (%d/%d) — repair must converge to the stable greedy state",
@@ -115,9 +129,14 @@ func E16SelfHealing(cfg Config) ([]*stats.Table, error) {
 			}
 		}
 
-		// Zero-fault control at b=2: detector on vs off, same seeds.
+		// Zero-fault control at b=2: detector on vs off, same seeds. The
+		// zero-false-suspicion gate reads the verdict instruments of a
+		// per-control registry (PublishVerdicts with a nil truth function
+		// — nothing was ever down, so every suspicion scores false)
+		// instead of scraping the monitors' event logs.
 		const cb = 2
-		var falseSusp, identical, hbFrames int
+		creg := mreg.New()
+		var identical, hbFrames int
 		for r := 0; r < runs; r++ {
 			w, err := buildWorkload(cfg.Seed^uint64(16*n)^uint64(r)*7919, topo, metrics()[0], n, cb)
 			if err != nil {
@@ -140,12 +159,13 @@ func E16SelfHealing(cfg Config) ([]*stats.Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("E16 control %s run %d (detector off): %w", topo.name, r, err)
 			}
-			falseSusp += on.Suspicions
+			detector.PublishVerdicts(creg, on.Monitors, nil)
 			if on.Live.Equal(off.Live) {
 				identical++
 			}
 			hbFrames += on.Stats.SentByKind["HB"] + on.Stats.SentByKind["HB-ACK"]
 		}
+		falseSusp := int(creg.Counter("detector_false_suspicions_total", "").Value())
 		control.AddRowf(topo.name, cb, runs, falseSusp, identical, hbFrames/runs)
 		if falseSusp != 0 {
 			return nil, fmt.Errorf("E16 control: %s reported %d suspicions with zero faults",

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"overlaymatch/internal/lid"
+	mreg "overlaymatch/internal/metrics"
+	"overlaymatch/internal/obs"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+	"overlaymatch/internal/stats"
+)
+
+// e17Workers is the worker sweep of E17's determinism check: the probe
+// series must be byte-identical for every worker count (workers only
+// parallelize the deterministic preference-table build, so any
+// divergence means the telemetry plane leaked scheduling state).
+var e17Workers = []int{1, 2, 4}
+
+// E17StabilityCurve: the convergence trajectory of LID, measured by
+// the per-round stability prober (obs.Prober through
+// lid.RunEventProbed). Per topology the event runtime runs under unit
+// latency with a probe every cfg.ProbeInterval time units; each probe
+// records blocking pairs (under the eq.-9 weight order — the order LID
+// actually proposes in), unmatched node mass, the matched-weight
+// fraction of the LIC optimum, and cumulative message/byte totals.
+//
+// Two properties are enforced as hard errors, not just tabulated:
+//
+//   - Monotone improvement: blocking pairs never increase and the
+//     matched-weight fraction never decreases between probes, ending at
+//     exactly 0 and exactly 1 (LID terminates in the LIC matching, so
+//     the final state is exactly stable under the weight order).
+//   - Worker determinism: the full probe-registry snapshot is
+//     byte-identical across worker counts {1, 2, 4}.
+//
+// The summary table reports the rounds-to-ε ladder (first probe time
+// with blocking pairs ≤ ε·|E|); the canonical gnp summary is also
+// published into cfg.Metrics as stability_rounds_to_eps_* gauges, which
+// the run manifest collects into its convergence block.
+func E17StabilityCurve(cfg Config) ([]*stats.Table, error) {
+	curve := stats.NewTable("E17: rounds vs blocking pairs (probed LID, unit latency)",
+		"topology", "n", "round", "blocking pairs", "unmatched", "weight frac", "msgs", "bytes")
+	summary := stats.NewTable("E17 summary: rounds to eps-stability (first probe with bp <= eps*|E|)",
+		"topology", "n", "eps=0.1", "eps=0.01", "eps=0.001", "eps=0", "workers")
+	n := cfg.pick(24, 100)
+	interval := cfg.probeInterval()
+	for _, topo := range topologies()[:3] {
+		w, err := buildWorkload(cfg.Seed^uint64(17*n), topo, metrics()[0], n, 2)
+		if err != nil {
+			return nil, err
+		}
+		sys := w.System
+
+		var (
+			prober   *obs.Prober
+			reg      *mreg.Registry
+			baseline string
+		)
+		for i, workers := range e17Workers {
+			tbl := satisfaction.NewTableParallel(sys, workers)
+			r := mreg.New()
+			_, p, err := lid.RunEventProbed(sys, tbl, simnet.Options{Seed: cfg.Seed + 17}, interval, r)
+			if err != nil {
+				return nil, fmt.Errorf("E17 %s workers=%d: %w", topo.name, workers, err)
+			}
+			raw, err := r.Snapshot().MarshalJSON()
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				prober, reg, baseline = p, r, string(raw)
+			} else if string(raw) != baseline {
+				return nil, fmt.Errorf("E17 %s: probe series with %d workers differ from %d workers — the telemetry plane must be schedule-free",
+					topo.name, workers, e17Workers[0])
+			}
+		}
+
+		// The monotone-improving invariant, enforced (see the package
+		// comment of lid.StabilitySampler for why each piece holds).
+		bp := prober.Curve()
+		frac := reg.Series("probe_matched_weight_frac", "").Points()
+		for i := 1; i < len(bp); i++ {
+			if bp[i].V > bp[i-1].V {
+				return nil, fmt.Errorf("E17 %s: blocking pairs increased %v -> %v at t=%v",
+					topo.name, bp[i-1].V, bp[i].V, bp[i].T)
+			}
+			if frac[i].V < frac[i-1].V {
+				return nil, fmt.Errorf("E17 %s: matched-weight fraction decreased at t=%v", topo.name, frac[i].T)
+			}
+		}
+		if last := bp[len(bp)-1].V; last != 0 {
+			return nil, fmt.Errorf("E17 %s: %v blocking pairs at termination, want 0 (LID must end exactly stable)",
+				topo.name, last)
+		}
+		if last := frac[len(frac)-1].V; last != 1 {
+			return nil, fmt.Errorf("E17 %s: final weight fraction %v, want 1 (LID must end in the LIC matching)",
+				topo.name, last)
+		}
+
+		unmatched := reg.Series("probe_unmatched_nodes", "").Points()
+		msgs := reg.Series("probe_msgs_sent", "").Points()
+		bytes := reg.Series("probe_bytes_sent", "").Points()
+		for i := range bp {
+			curve.AddRowf(topo.name, n, bp[i].T, int64(bp[i].V), int64(unmatched[i].V),
+				frac[i].V, int64(msgs[i].V), int64(bytes[i].V))
+		}
+		s := prober.RoundsToEps(nil)
+		summary.AddRowf(topo.name, n, s["0.100"], s["0.010"], s["0.001"], s["0.000"],
+			fmt.Sprintf("identical x%d", len(e17Workers)))
+		if topo.name == "gnp" {
+			// The canonical workload's summary feeds the run manifest
+			// (nil-safe when no sink registry is attached).
+			prober.PublishSummary(cfg.Metrics, nil)
+		}
+	}
+	return []*stats.Table{curve, summary}, nil
+}

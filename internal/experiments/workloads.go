@@ -75,6 +75,18 @@ type Config struct {
 	// configuration of the self-healing experiment (E16); nil means
 	// detector.Default().
 	Detector *detector.Config
+	// ProbeInterval is the virtual-time spacing of the per-round
+	// stability probes (E17); 0 means 1, one probe per unit-latency
+	// round.
+	ProbeInterval float64
+}
+
+// probeInterval resolves the stability-probe spacing.
+func (c Config) probeInterval() float64 {
+	if c.ProbeInterval > 0 {
+		return c.ProbeInterval
+	}
+	return 1
 }
 
 // policy returns the fault-injection policy for one run (nil when no

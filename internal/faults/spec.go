@@ -82,6 +82,21 @@ type Spec struct {
 	Crashes    []Crash
 }
 
+// NodeDownAt reports whether node is inside any crash window at
+// virtual time `at` — the ground-truth function detector verdict
+// scoring (detector.PublishVerdicts) checks suspicions against.
+func (s Spec) NodeDownAt(node int, at float64) bool {
+	for _, c := range s.Crashes {
+		if c.Node != node || at < c.Start {
+			continue
+		}
+		if c.End == NoHeal || at < c.End {
+			return true
+		}
+	}
+	return false
+}
+
 // IsZero reports whether the spec injects nothing.
 func (s Spec) IsZero() bool {
 	return s.Drop == 0 && s.Dup == 0 && s.Corrupt == 0 && s.Delay == 0 &&

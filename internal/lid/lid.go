@@ -29,6 +29,7 @@ import (
 
 	"overlaymatch/internal/graph"
 	"overlaymatch/internal/matching"
+	"overlaymatch/internal/obs"
 	"overlaymatch/internal/pref"
 	"overlaymatch/internal/satisfaction"
 	"overlaymatch/internal/simnet"
@@ -48,6 +49,11 @@ func (m Msg) Kind() string {
 	}
 	return "REJ"
 }
+
+// WireSize implements simnet.Sizer: a nominal 8-byte frame header plus
+// a 1-byte opcode — LID messages carry no other payload (§5: weights
+// were exchanged when the weight lists were built).
+func (m Msg) WireSize() int { return 9 }
 
 var (
 	propMsg = Msg{IsProp: true}
@@ -90,6 +96,7 @@ type Node struct {
 	pending    int // |P \ K|
 	locked     []graph.NodeID
 	halted     bool
+	wave       obs.SpanID // telemetry: the node's proposal-wave span
 }
 
 // NewNode builds the state machine for node id.
@@ -162,6 +169,12 @@ func Handlers(nodes []*Node) []simnet.Handler {
 // eligible neighbors of the weight list (Algorithm 1, lines 1–3).
 // Pre-resolved (excluded) entries are skipped.
 func (n *Node) Init(ctx simnet.Context) {
+	// Telemetry: the proposal wave spans the node's whole convergence
+	// arc, Init to local termination. The rec != nil guard keeps the
+	// detail formatting off the disabled path.
+	if rec := simnet.ObserverOf(ctx); rec != nil {
+		n.wave = rec.OpenSpan(n.id, "lid.wave", fmt.Sprintf("quota=%d deg=%d", n.quota, len(n.order)), ctx.Time())
+	}
 	for n.pending+len(n.locked) < n.quota && n.cursor < len(n.order) {
 		pos := n.cursor
 		v := n.order[pos]
@@ -286,6 +299,9 @@ func (n *Node) lock(ctx simnet.Context, from graph.NodeID, pos int32, fromPropos
 		n.pending--
 	}
 	n.locked = append(n.locked, from)
+	if rec := simnet.ObserverOf(ctx); rec != nil {
+		rec.Point(n.id, "lid.lock", fmt.Sprintf("peer=%d", from), ctx.Time())
+	}
 	if len(n.locked) > n.quota {
 		panic(fmt.Sprintf("lid: node %d exceeded quota %d", n.id, n.quota))
 	}
@@ -315,6 +331,9 @@ func (n *Node) broadcastRejects(ctx simnet.Context) {
 func (n *Node) checkDone(ctx simnet.Context) {
 	if n.unresolved == 0 && !n.halted {
 		n.halted = true
+		if rec := simnet.ObserverOf(ctx); rec != nil {
+			rec.CloseSpan(n.id, n.wave, fmt.Sprintf("locked=%d", len(n.locked)), ctx.Time())
+		}
 		ctx.Halt()
 	}
 }

@@ -1,0 +1,96 @@
+package lid
+
+import (
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/obs"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/satisfaction"
+)
+
+// Quota returns the node's connection quota bi.
+func (n *Node) Quota() int { return n.quota }
+
+// LockedWith reports whether this node has locked its connection to v.
+func (n *Node) LockedWith(v graph.NodeID) bool {
+	pos, ok := n.orderPos(v)
+	return ok && n.state[pos] == stLocked
+}
+
+// StabilitySampler builds the per-round probe for a running LID
+// instance: a function the simnet probe hook calls mid-run to measure
+// how far the execution is from a stable matching. totals, if non-nil,
+// supplies the cumulative (messages, bytes) send counters
+// (Runner.SentTotals), attributing traffic to the convergence phase
+// that spent it.
+//
+// Definitions, chosen so every component is provably monotone during
+// LID (the invariant experiment E17 enforces):
+//
+//   - An edge counts as matched once BOTH endpoints locked it. Locks
+//     are never revoked, so the matched set only grows and the matched
+//     weight is non-decreasing.
+//   - {u,v} is a blocking pair if the edge is unmatched and each
+//     endpoint would accept the other: free quota, or a strictly
+//     heavier WeightKey than the endpoint's lightest locked
+//     connection. Preferences here are the eq.-9 weight order the
+//     protocol actually proposes in (the shared strict total order of
+//     satisfaction.WeightKey), not the raw preference-list ranks —
+//     the paper's algorithms optimize weights, and only under the
+//     weight order is the final matching exactly stable. Acceptance
+//     can only flip true -> false (a node below quota accepts
+//     everyone; at quota fill its locked set freezes forever), and
+//     matching an edge only removes it, so the blocking-pair count is
+//     non-increasing — and reaches 0 at termination: an edge left
+//     unmatched by the locally-heaviest matching always has an
+//     endpoint whose quota filled with strictly heavier edges.
+//
+// The sampler only reads protocol state; it never mutates it and
+// never feeds back into the run (probed runs stay bit-identical to
+// unprobed ones).
+func StabilitySampler(s *pref.System, tbl *satisfaction.Table, nodes []*Node, totals func() (msgs, bytes int64)) func(t float64) obs.StabilitySample {
+	g := s.Graph()
+	// lightest[i] is recomputed per probe: the WeightKey of i's
+	// lightest locked connection, meaningful only once i's quota is
+	// full (open nodes accept everyone).
+	lightest := make([]satisfaction.WeightKey, len(nodes))
+	return func(t float64) obs.StabilitySample {
+		var smp obs.StabilitySample
+		if totals != nil {
+			smp.Msgs, smp.Bytes = totals()
+		}
+		for i, nd := range nodes {
+			if len(nd.locked) == 0 {
+				smp.UnmatchedNodes++
+			}
+			if nd.quota > 0 && len(nd.locked) >= nd.quota {
+				low := tbl.Key(i, nd.locked[0])
+				for _, v := range nd.locked[1:] {
+					if k := tbl.Key(i, v); low.Heavier(k) {
+						low = k
+					}
+				}
+				lightest[i] = low
+			}
+		}
+		accepts := func(u, v graph.NodeID) bool {
+			nd := nodes[u]
+			if len(nd.locked) < nd.quota {
+				return true
+			}
+			if nd.quota == 0 {
+				return false
+			}
+			return tbl.Key(u, v).Heavier(lightest[u])
+		}
+		for _, e := range g.Edges() {
+			if nodes[e.U].LockedWith(e.V) && nodes[e.V].LockedWith(e.U) {
+				smp.MatchedWeight += satisfaction.EdgeWeight(s, e)
+				continue
+			}
+			if accepts(e.U, e.V) && accepts(e.V, e.U) {
+				smp.BlockingPairs++
+			}
+		}
+		return smp
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"overlaymatch/internal/matching"
 	"overlaymatch/internal/metrics"
+	"overlaymatch/internal/obs"
 	"overlaymatch/internal/pref"
 	"overlaymatch/internal/satisfaction"
 	"overlaymatch/internal/simnet"
@@ -33,6 +34,36 @@ func RunEvent(s *pref.System, tbl *satisfaction.Table, opts simnet.Options) (Res
 	return finish(nodes, stats, opts.Metrics)
 }
 
+// RunEventProbed is RunEvent with the per-round stability prober
+// attached: every `interval` units of virtual time a StabilitySampler
+// measurement (blocking pairs, unmatched node mass, matched-weight
+// fraction of the LIC optimum, cumulative message/byte counters) is
+// appended to the probe_* series of reg, and the rounds-to-ε summary
+// gauges are published into reg when the run finishes. The returned
+// prober exposes the raw curve (Prober.Curve) and the summary
+// (Prober.RoundsToEps). Probing reads protocol state only — the run
+// itself is bit-identical to an unprobed RunEvent.
+func RunEventProbed(s *pref.System, tbl *satisfaction.Table, opts simnet.Options, interval float64, reg *metrics.Registry) (Result, *obs.Prober, error) {
+	nodes := NewNodes(s, tbl)
+	g := s.Graph()
+	optimum := matching.LIC(s, tbl).Weight(s)
+	var runner *simnet.Runner
+	sampler := StabilitySampler(s, tbl, nodes, func() (int64, int64) {
+		return runner.SentTotals()
+	})
+	prober := obs.NewProber(reg, interval, g.NumEdges(), optimum, sampler)
+	opts.Probe = prober.Probe
+	opts.ProbeInterval = interval
+	runner = simnet.NewRunner(g.NumNodes(), opts)
+	stats, err := runner.Run(Handlers(nodes))
+	if err != nil {
+		return Result{Stats: stats}, prober, err
+	}
+	prober.PublishSummary(reg, nil)
+	res, err := finish(nodes, stats, opts.Metrics)
+	return res, prober, err
+}
+
 // GoOptions configures a goroutine-runtime LID execution.
 type GoOptions struct {
 	// Timeout bounds the wall-clock duration (0 = the GoRunner's 30s
@@ -50,6 +81,11 @@ type GoOptions struct {
 	// delivery-preserving faults keep bare LID correct — wrap the
 	// handlers in package reliable for drop/corrupt faults.
 	Policy simnet.LinkPolicy
+	// Obs, if non-nil, is the telemetry recorder (package obs). The
+	// goroutine runtime has no virtual clock, so events carry time 0
+	// and only the Lamport stamps order them; the log's record order is
+	// a real interleaving but not reproducible across runs.
+	Obs *obs.Recorder
 }
 
 // RunGoroutines executes LID with one real goroutine per peer. The
@@ -73,6 +109,9 @@ func RunGoroutinesOpts(s *pref.System, tbl *satisfaction.Table, opts GoOptions) 
 	}
 	if opts.Policy != nil {
 		runner.SetPolicy(opts.Policy)
+	}
+	if opts.Obs != nil {
+		runner.SetObserver(opts.Obs)
 	}
 	stats, err := runner.Run(Handlers(nodes))
 	if err != nil {

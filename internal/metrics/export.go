@@ -32,6 +32,7 @@ type Sample struct {
 	Label        string
 	LabelValues  []LabelCount
 	Values       []int64
+	Points       []SeriesPoint
 }
 
 // Snapshot is a consistent-enough view of a registry: every individual
@@ -74,6 +75,8 @@ func (r *Registry) Snapshot() Snapshot {
 			s.P99 = h.Quantile(0.99)
 		case KindVector:
 			s.Values = e.inst.(*Vector).Values()
+		case KindSeries:
+			s.Points = e.inst.(*Series).Points()
 		case KindFamily:
 			f := e.inst.(*Family)
 			s.Label = f.Label()
@@ -122,6 +125,13 @@ func (s Snapshot) WriteText(w io.Writer) error {
 			sum, max := vectorStats(smp.Values)
 			lines = append(lines, line{smp.Name, fmt.Sprintf(
 				"n=%d sum=%d max=%d", len(smp.Values), sum, max)})
+		case KindSeries:
+			last := SeriesPoint{}
+			if len(smp.Points) > 0 {
+				last = smp.Points[len(smp.Points)-1]
+			}
+			lines = append(lines, line{smp.Name, fmt.Sprintf(
+				"n=%d last_t=%g last=%g", len(smp.Points), last.T, last.V)})
 		case KindFamily:
 			for _, lv := range smp.LabelValues {
 				lines = append(lines, line{
@@ -185,6 +195,13 @@ func (s Snapshot) toJSON() map[string]interface{} {
 			sum, max := vectorStats(smp.Values)
 			m["n"], m["sum"], m["max"] = len(smp.Values), sum, max
 			m["values"] = smp.Values
+		case KindSeries:
+			points := make([][2]float64, len(smp.Points))
+			for i, p := range smp.Points {
+				points[i] = [2]float64{p.T, p.V}
+			}
+			m["n"] = len(smp.Points)
+			m["points"] = points
 		case KindFamily:
 			byValue := make(map[string]int64, len(smp.LabelValues))
 			for _, lv := range smp.LabelValues {
@@ -229,6 +246,15 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 			for i, v := range smp.Values {
 				fmt.Fprintf(&b, "%s{index=\"%d\"} %d\n", smp.Name, i, v)
 			}
+		case KindSeries:
+			// Prometheus has no native series type; expose the latest
+			// sample as a gauge (the full series lives in the JSON form).
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", smp.Name)
+			last := SeriesPoint{}
+			if len(smp.Points) > 0 {
+				last = smp.Points[len(smp.Points)-1]
+			}
+			fmt.Fprintf(&b, "%s %g\n", smp.Name, last.V)
 		case KindFamily:
 			fmt.Fprintf(&b, "# TYPE %s counter\n", smp.Name)
 			for _, lv := range smp.LabelValues {

@@ -45,6 +45,7 @@ const (
 	KindHistogram
 	KindVector
 	KindFamily
+	KindSeries
 )
 
 func (k Kind) String() string {
@@ -59,6 +60,8 @@ func (k Kind) String() string {
 		return "vector"
 	case KindFamily:
 		return "family"
+	case KindSeries:
+		return "series"
 	}
 	return fmt.Sprintf("kind(%d)", k)
 }
@@ -263,6 +266,56 @@ func (f *Family) Counts() map[string]int64 {
 	return out
 }
 
+// SeriesPoint is one (time, value) sample of a Series.
+type SeriesPoint struct {
+	T float64
+	V float64
+}
+
+// Series is an append-only (time, value) time series — the instrument
+// behind the per-round stability probes (package obs). Unlike the
+// other instruments it is mutex-guarded rather than lock-free: probes
+// fire once per sampling interval, never per message, so the series
+// write path is off the hot path by construction. Like Vector it is a
+// per-run artifact and is skipped by Merge.
+type Series struct {
+	mu     sync.Mutex
+	points []SeriesPoint
+}
+
+// Append records one sample. Times should be non-decreasing (probe
+// order); Append does not enforce this so replayed snapshots stay
+// byte-faithful.
+func (s *Series) Append(t, v float64) {
+	s.mu.Lock()
+	s.points = append(s.points, SeriesPoint{T: t, V: v})
+	s.mu.Unlock()
+}
+
+// Len returns the number of recorded points.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.points)
+}
+
+// Last returns the most recent point (zero if empty).
+func (s *Series) Last() SeriesPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.points) == 0 {
+		return SeriesPoint{}
+	}
+	return s.points[len(s.points)-1]
+}
+
+// Points returns a copy of all points in append order.
+func (s *Series) Points() []SeriesPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SeriesPoint(nil), s.points...)
+}
+
 // entry is one named instrument inside a registry.
 type entry struct {
 	kind Kind
@@ -395,6 +448,18 @@ func (r *Registry) Family(name, help, label string) *Family {
 	return f
 }
 
+// Series returns the named time series, creating it on first use.
+func (r *Registry) Series(name, help string) *Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, help, KindSeries); ok {
+		return e.inst.(*Series)
+	}
+	s := &Series{}
+	r.entries[name] = &entry{kind: KindSeries, help: help, inst: s}
+	return s
+}
+
 // names returns all registered names sorted.
 func (r *Registry) names() []string {
 	out := make([]string, 0, len(r.entries))
@@ -434,8 +499,8 @@ func (r *Registry) Merge(s Snapshot) {
 			for _, lv := range smp.LabelValues {
 				f.With(lv.Value).Add(lv.Count)
 			}
-		case KindVector:
-			// Per-run artifact; see doc comment.
+		case KindVector, KindSeries:
+			// Per-run artifacts; see doc comment.
 		}
 	}
 }

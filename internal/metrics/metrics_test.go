@@ -261,3 +261,72 @@ func TestMerge(t *testing.T) {
 		t.Fatal("vectors must not merge (per-run artifacts)")
 	}
 }
+
+func TestSeries(t *testing.T) {
+	r := New()
+	s := r.Series("probe_bp", "blocking pairs per round")
+	if r.Series("probe_bp", "blocking pairs per round") != s {
+		t.Fatal("Series is not get-or-create")
+	}
+	if s.Len() != 0 || (s.Last() != SeriesPoint{}) {
+		t.Fatal("empty series not zero")
+	}
+	s.Append(0, 12)
+	s.Append(1, 7)
+	s.Append(2, 0)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if last := s.Last(); last.T != 2 || last.V != 0 {
+		t.Fatalf("Last = %+v", last)
+	}
+	pts := s.Points()
+	pts[0].V = 99 // must be a copy
+	if s.Points()[0].V != 12 {
+		t.Fatal("Points returned shared storage")
+	}
+
+	snap := r.Snapshot()
+	if len(snap.Samples) != 1 || snap.Samples[0].Kind != KindSeries {
+		t.Fatalf("snapshot = %+v", snap.Samples)
+	}
+	var text, jsonBuf, prom bytes.Buffer
+	if err := snap.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if want := "n=3 last_t=2 last=0"; !strings.Contains(text.String(), want) {
+		t.Fatalf("text missing %q:\n%s", want, text.String())
+	}
+	if err := snap.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	compact, err := snap.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"series"`, `[0,12]`, `[1,7]`, `[2,0]`} {
+		if !strings.Contains(string(compact), want) {
+			t.Fatalf("json missing %q:\n%s", want, compact)
+		}
+	}
+	if err := snap.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if want := "probe_bp 0\n"; !strings.Contains(prom.String(), want) {
+		t.Fatalf("prom missing %q:\n%s", want, prom.String())
+	}
+
+	// Series are per-run artifacts: Merge must skip them.
+	sink := New()
+	sink.Merge(snap)
+	if len(sink.Snapshot().Samples) != 0 {
+		t.Fatal("series must not merge (per-run artifacts)")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Counter("probe_bp", "")
+}

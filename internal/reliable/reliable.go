@@ -25,8 +25,13 @@ import (
 	"strconv"
 
 	"overlaymatch/internal/metrics"
+	"overlaymatch/internal/obs"
 	"overlaymatch/internal/simnet"
 )
+
+// frameHeader is the nominal wire cost of the transport framing: an
+// 8-byte header (seq, flags) plus the opcode byte.
+const frameHeader = 9
 
 // dataMsg is a sequenced frame carrying one inner protocol message.
 type dataMsg struct {
@@ -38,6 +43,10 @@ type dataMsg struct {
 // protocol messages (retransmissions included — that is the point).
 func (m dataMsg) Kind() string { return simnet.KindOf(m.Payload) }
 
+// WireSize implements simnet.Sizer: framing plus the payload's own
+// nominal size, so byte counters see the transport overhead.
+func (m dataMsg) WireSize() int { return frameHeader + simnet.SizeOf(m.Payload) }
+
 // ackMsg acknowledges one DATA frame.
 type ackMsg struct {
 	Seq uint32
@@ -45,6 +54,9 @@ type ackMsg struct {
 
 // Kind implements simnet.Kinder.
 func (ackMsg) Kind() string { return "ACK" }
+
+// WireSize implements simnet.Sizer.
+func (ackMsg) WireSize() int { return frameHeader }
 
 // retransmitToken is the Endpoint's private timer token.
 type retransmitToken struct {
@@ -118,6 +130,11 @@ type Endpoint struct {
 	// the next arrival from the peer so a later loss burst can
 	// escalate again.
 	down map[int]bool
+
+	// retxSpans tracks open telemetry spans per retransmit chain (first
+	// retransmission opens one, ack or abandonment closes it). Allocated
+	// lazily, so runs without a recorder never touch it.
+	retxSpans map[frameKey]obs.SpanID
 
 	innerHalted bool
 	realHalted  bool
@@ -264,6 +281,12 @@ type relCtx struct {
 func (c *relCtx) ID() int       { return c.ctx.ID() }
 func (c *relCtx) Time() float64 { return c.ctx.Time() }
 
+// Observer forwards the runtime's telemetry recorder (the
+// simnet.Observable capability) through the transport wrapper, so the
+// inner protocol's spans land in the same causal log as the frames
+// carrying them.
+func (c *relCtx) Observer() *obs.Recorder { return simnet.ObserverOf(c.ctx) }
+
 func (c *relCtx) Send(to int, msg simnet.Message) {
 	e := c.e
 	seq := e.nextSeq[to]
@@ -287,6 +310,37 @@ func (c *relCtx) Halt() {
 // SetTimer passes inner-protocol timers straight through.
 func (c *relCtx) SetTimer(delay float64, msg simnet.Message) {
 	simnet.SetTimerOn(c.ctx, delay, msg)
+}
+
+// retxOpen opens the retransmit-chain span for frame k on its first
+// retransmission; later retries extend the same chain. No-op without a
+// recorder on the runtime.
+func (e *Endpoint) retxOpen(ctx simnet.Context, k frameKey) {
+	rec := simnet.ObserverOf(ctx)
+	if rec == nil {
+		return
+	}
+	if _, open := e.retxSpans[k]; open {
+		return
+	}
+	if e.retxSpans == nil {
+		e.retxSpans = make(map[frameKey]obs.SpanID)
+	}
+	e.retxSpans[k] = rec.OpenSpan(ctx.ID(), "reliable.retx",
+		fmt.Sprintf("to=%d seq=%d", k.to, k.seq), ctx.Time())
+}
+
+// retxClose ends frame k's retransmit chain (acked or abandoned), if
+// one is open.
+func (e *Endpoint) retxClose(ctx simnet.Context, k frameKey, outcome string) {
+	id, open := e.retxSpans[k]
+	if !open {
+		return
+	}
+	delete(e.retxSpans, k)
+	if rec := simnet.ObserverOf(ctx); rec != nil {
+		rec.CloseSpan(ctx.ID(), id, outcome, ctx.Time())
+	}
 }
 
 func (e *Endpoint) maybeHalt(ctx simnet.Context) {
@@ -318,6 +372,7 @@ func (e *Endpoint) HandleMessage(ctx simnet.Context, from int, msg simnet.Messag
 			delete(e.unacked, k)
 			delete(e.attempts, k)
 			delete(e.sendTime, k)
+			e.retxClose(ctx, k, "abandoned")
 			e.abandoned++
 			e.abandonedByPeer[m.To]++
 			if !e.down[m.To] {
@@ -333,6 +388,7 @@ func (e *Endpoint) HandleMessage(ctx simnet.Context, from int, msg simnet.Messag
 			e.maybeHalt(ctx)
 			return
 		}
+		e.retxOpen(ctx, k)
 		e.attempts[k]++
 		e.retransmits++
 		e.frames++
@@ -368,6 +424,7 @@ func (e *Endpoint) HandleMessage(ctx simnet.Context, from int, msg simnet.Messag
 		}
 		delete(e.unacked, k)
 		delete(e.attempts, k)
+		e.retxClose(ctx, k, "acked")
 		e.maybeHalt(ctx)
 	case simnet.Corrupted:
 		// Failed checksum: discard the whole frame without looking

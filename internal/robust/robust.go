@@ -227,6 +227,11 @@ func (n *TolerantNode) handleTimeout(ctx simnet.Context, to graph.NodeID) {
 	n.unresolved--
 	n.pending--
 	n.Revocations++
+	// Telemetry: a timeout-driven revocation is the protocol's key
+	// robustness decision — worth a point event in the causal log.
+	if rec := simnet.ObserverOf(ctx); rec != nil {
+		rec.Point(n.id, "robust.revoke", fmt.Sprintf("peer=%d", to), ctx.Time())
+	}
 	ctx.Send(to, lid.Msg{IsProp: false})
 	n.proposeNext(ctx)
 }
@@ -285,6 +290,9 @@ func (n *TolerantNode) dissolve(ctx simnet.Context, from graph.NodeID) {
 		}
 	}
 	n.DissolvedLocks++
+	if rec := simnet.ObserverOf(ctx); rec != nil {
+		rec.Point(n.id, "robust.dissolve", fmt.Sprintf("peer=%d", from), ctx.Time())
+	}
 	// The freed slot can only be refilled if unproposed candidates
 	// remain (after a quota-full broadcast there are none).
 	if !n.quotaFullB {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"overlaymatch/internal/metrics"
+	"overlaymatch/internal/obs"
 )
 
 // GoRunner executes a protocol with one goroutine per node and
@@ -31,6 +32,7 @@ type GoRunner struct {
 	ins   *instruments
 	sink  *metrics.Registry
 	trace func(TraceEntry)
+	rec   *obs.Recorder
 
 	polMu  sync.Mutex // serializes policy verdicts (policies are single-threaded)
 	policy LinkPolicy
@@ -70,6 +72,9 @@ type goCtx struct {
 func (c *goCtx) ID() int       { return c.id }
 func (c *goCtx) Time() float64 { return 0 }
 
+// Observer implements Observable (nil when telemetry is off).
+func (c *goCtx) Observer() *obs.Recorder { return c.r.rec }
+
 func (c *goCtx) Halt() {
 	r := c.r
 	r.mu.Lock()
@@ -102,6 +107,15 @@ func (r *GoRunner) SetTrace(fn func(TraceEntry)) { r.trace = fn }
 // Run.
 func (r *GoRunner) SetMetricsSink(sink *metrics.Registry) { r.sink = sink }
 
+// SetObserver installs a telemetry recorder (package obs). The
+// recorder is mutex-guarded, so the per-node goroutines record
+// concurrently in scheduler order: Lamport stamps stay causally
+// consistent (a delivery always merges its send's stamp), but unlike
+// the event runtime the record ORDER is not reproducible across runs.
+// Times are recorded as 0 — the GoRunner has no global clock. Call
+// before Run.
+func (r *GoRunner) SetObserver(rec *obs.Recorder) { r.rec = rec }
+
 // SetPolicy installs a fault-injection link policy (see LinkPolicy).
 // The runner serializes Verdict calls under an internal mutex, so the
 // same deterministic policy implementations work on both runtimes —
@@ -113,6 +127,9 @@ func (r *GoRunner) SetPolicy(p LinkPolicy) { r.policy = p }
 
 // Metrics returns the run's private instrument registry.
 func (r *GoRunner) Metrics() *metrics.Registry { return r.ins.reg }
+
+// SentTotals returns the cumulative (messages, bytes) send counters.
+func (r *GoRunner) SentTotals() (msgs, bytes int64) { return r.ins.sentTotals() }
 
 // SetTimer implements TimerSetter: msg is pushed back to this node's
 // own mailbox after delay virtual time units of wall-clock time.
@@ -139,8 +156,9 @@ func (c *goCtx) Send(to int, msg Message) {
 	}
 	// The message counters are atomic registry instruments; they no
 	// longer need r.mu.
-	r.ins.sentByNode.Inc(c.id)
-	r.ins.sent.With(KindOf(msg)).Inc()
+	kind := KindOf(msg)
+	r.ins.countSend(c.id, kind, SizeOf(msg))
+	lam := r.rec.Send(c.id, to, kind, 0)
 	var v LinkVerdict
 	if r.policy != nil {
 		r.polMu.Lock()
@@ -167,12 +185,12 @@ func (c *goCtx) Send(to int, msg Message) {
 			payload := msg
 			d := time.Duration(v.ExtraDelay * float64(r.timeUnit))
 			time.AfterFunc(d, func() {
-				depth := r.boxes[to].push(delivery{from: from, msg: payload})
+				depth := r.boxes[to].push(delivery{from: from, msg: payload, lam: lam})
 				r.ins.queueDepthMax.SetMax(float64(depth))
 			})
 			continue
 		}
-		depth := r.boxes[to].push(delivery{from: c.id, msg: msg})
+		depth := r.boxes[to].push(delivery{from: c.id, msg: msg, lam: lam})
 		r.ins.queueDepthMax.SetMax(float64(depth))
 	}
 }
@@ -207,6 +225,9 @@ func (r *GoRunner) Run(handlers []Handler) (Stats, error) {
 				}
 				if r.trace != nil {
 					r.trace(TraceEntry{From: d.from, To: id, Msg: d.msg})
+				}
+				if r.rec != nil && !d.timer {
+					r.rec.Deliver(id, d.from, KindOf(d.msg), 0, d.lam)
 				}
 				handlers[id].HandleMessage(ctx, d.from, d.msg)
 				if d.timer {

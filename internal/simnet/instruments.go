@@ -19,6 +19,8 @@ type instruments struct {
 	sent           *metrics.Family
 	sentByNode     *metrics.Vector
 	receivedByNode *metrics.Vector
+	sentBytes      *metrics.Counter
+	bytesByKind    *metrics.Family
 	finalTime      *metrics.Gauge
 	queueDepthMax  *metrics.Gauge
 	sendLatency    *metrics.Histogram
@@ -33,6 +35,8 @@ func newInstruments(n int) *instruments {
 		dropped:        reg.Counter("simnet_dropped_total", "messages lost by the loss model"),
 		timersFired:    reg.Counter("simnet_timers_fired_total", "local timer deliveries"),
 		sent:           reg.Family("simnet_sent_total", "messages sent by protocol kind", "kind"),
+		sentBytes:      reg.Counter("simnet_sent_bytes_total", "payload bytes sent (messages implementing Sizer)"),
+		bytesByKind:    reg.Family("simnet_sent_bytes_by_kind", "payload bytes sent by protocol kind", "kind"),
 		sentByNode:     reg.Vector("simnet_sent_by_node", "messages sent per node", n),
 		receivedByNode: reg.Vector("simnet_received_by_node", "messages delivered per node", n),
 		finalTime:      reg.Gauge("simnet_final_time", "virtual time of the last delivery (event runtime)"),
@@ -40,6 +44,27 @@ func newInstruments(n int) *instruments {
 		sendLatency:    reg.Histogram("simnet_send_latency", "per-message link latency in virtual time units (event runtime)", nil),
 		faults:         reg.Family("simnet_fault_injections_total", "fault injections applied by the link policy", "kind"),
 	}
+}
+
+// countSend records one network send's kind and byte accounting; both
+// runtimes call it from their Send paths.
+func (ins *instruments) countSend(node int, kind string, size int) {
+	ins.sentByNode.Inc(node)
+	ins.sent.With(kind).Inc()
+	if size > 0 {
+		ins.sentBytes.Add(int64(size))
+		ins.bytesByKind.With(kind).Add(int64(size))
+	}
+}
+
+// sentTotals reads the cumulative (messages, bytes) send counters —
+// the per-probe traffic attribution of the stability prober. Called at
+// probe frequency, never per message.
+func (ins *instruments) sentTotals() (msgs, bytes int64) {
+	for _, v := range ins.sentByNode.Values() {
+		msgs += v
+	}
+	return msgs, ins.sentBytes.Value()
 }
 
 // countVerdict records one applied link-policy verdict by kind; a zero

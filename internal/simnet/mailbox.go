@@ -56,7 +56,8 @@ func (Corrupted) Kind() string { return "CORRUPT" }
 type delivery struct {
 	from  int
 	msg   Message
-	timer bool // local timer, not a network message
+	lam   uint64 // sender's Lamport stamp (telemetry only; 0 when off)
+	timer bool   // local timer, not a network message
 }
 
 // mailbox is an unbounded MPSC queue: any number of senders Push

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"overlaymatch/internal/metrics"
+	"overlaymatch/internal/obs"
 	"overlaymatch/internal/rng"
 )
 
@@ -81,6 +82,20 @@ type Options struct {
 	// the max). The runner never writes to the sink on the hot path,
 	// so a sink shared across runs costs nothing per message.
 	Metrics *metrics.Registry
+	// Obs, if non-nil, is the telemetry recorder (package obs): the
+	// runner records every network send/delivery with Lamport stamps
+	// carried across the link, and exposes the recorder to protocol
+	// layers through the Observable context capability. nil costs one
+	// branch per event.
+	Obs *obs.Recorder
+	// Probe, together with a positive ProbeInterval, installs the
+	// per-round stability probe: the run loop invokes Probe(t) at
+	// every multiple t of ProbeInterval, after all events strictly
+	// before t have been processed (plus once more after the queue
+	// drains), so a probe at t sees the state "after round t". Probes
+	// observe protocol state but must not mutate it.
+	Probe         func(t float64)
+	ProbeInterval float64
 }
 
 // Runner is the deterministic discrete-event simulator. Its counters
@@ -102,7 +117,8 @@ type event struct {
 	seq      int // FIFO tie-break: lower seq delivered first at equal times
 	from, to int
 	msg      Message
-	timer    bool // local timer delivery, not a network message
+	lam      uint64 // sender's Lamport stamp (telemetry only; 0 when off)
+	timer    bool   // local timer delivery, not a network message
 }
 
 // eventQueue is a binary min-heap ordered by (time, seq). It is
@@ -179,6 +195,11 @@ func NewRunner(n int, opts Options) *Runner {
 // merge it after Run for per-run observability.
 func (r *Runner) Metrics() *metrics.Registry { return r.ins.reg }
 
+// SentTotals returns the cumulative (messages, bytes) send counters —
+// safe to call from an Options.Probe callback to attribute traffic to
+// convergence phases.
+func (r *Runner) SentTotals() (msgs, bytes int64) { return r.ins.sentTotals() }
+
 // runnerCtx implements Context for one delivery.
 type runnerCtx struct {
 	r    *Runner
@@ -190,13 +211,21 @@ func (c *runnerCtx) ID() int       { return c.id }
 func (c *runnerCtx) Time() float64 { return c.time }
 func (c *runnerCtx) Halt()         { c.r.halted[c.id] = true }
 
+// Observer implements Observable, handing protocol layers the run's
+// telemetry recorder (nil when telemetry is off).
+func (c *runnerCtx) Observer() *obs.Recorder { return c.r.opts.Obs }
+
 func (c *runnerCtx) Send(to int, msg Message) {
 	r := c.r
 	if to < 0 || to >= r.n {
 		panic(fmt.Sprintf("simnet: send to %d outside [0,%d)", to, r.n))
 	}
-	r.ins.sentByNode.Inc(c.id)
-	r.ins.sent.With(KindOf(msg)).Inc()
+	kind := KindOf(msg)
+	r.ins.countSend(c.id, kind, SizeOf(msg))
+	// The send is recorded (and the clock ticked) before the loss
+	// model, matching the sent counters: a dropped message was still
+	// sent, and its stamp documents the causal gap.
+	lam := r.opts.Obs.Send(c.id, to, kind, c.time)
 	if r.opts.Drop != nil && r.opts.Drop(c.id, to, r.src) {
 		r.ins.dropped.Inc()
 		return
@@ -228,7 +257,7 @@ func (c *runnerCtx) Send(to int, msg Message) {
 		}
 		r.ins.sendLatency.Observe(lat)
 		r.seq++
-		r.queue.push(event{time: c.time + lat, seq: r.seq, from: c.id, to: to, msg: msg})
+		r.queue.push(event{time: c.time + lat, seq: r.seq, from: c.id, to: to, msg: msg, lam: lam})
 	}
 	r.ins.queueDepthMax.SetMax(float64(len(r.queue)))
 }
@@ -271,17 +300,31 @@ func (r *Runner) Run(handlers []Handler) (Stats, error) {
 	// the atomic read path.
 	ctx := &runnerCtx{r: r}
 	delivered := 0
+	probing := r.opts.Probe != nil && r.opts.ProbeInterval > 0
+	nextProbe := 0.0
 	for len(r.queue) > 0 {
 		e := r.queue.pop()
 		if r.opts.MaxDeliveries > 0 && delivered >= r.opts.MaxDeliveries {
 			return r.ins.stats(), fmt.Errorf("simnet: exceeded %d deliveries", r.opts.MaxDeliveries)
 		}
 		delivered++
+		if probing {
+			// A probe at t fires once every event strictly before t is
+			// processed: with unit latency, probe k reports the state
+			// after round k.
+			for nextProbe < e.time {
+				r.opts.Probe(nextProbe)
+				nextProbe += r.opts.ProbeInterval
+			}
+		}
 		if e.timer {
 			r.ins.timersFired.Inc()
 		} else {
 			r.ins.deliveries.Inc()
 			r.ins.receivedByNode.Inc(e.to)
+			if r.opts.Obs != nil {
+				r.opts.Obs.Deliver(e.to, e.from, KindOf(e.msg), e.time, e.lam)
+			}
 		}
 		r.ins.finalTime.SetMax(e.time)
 		if r.opts.Trace != nil {
@@ -289,6 +332,11 @@ func (r *Runner) Run(handlers []Handler) (Stats, error) {
 		}
 		ctx.id, ctx.time = e.to, e.time
 		handlers[e.to].HandleMessage(ctx, e.from, e.msg)
+	}
+	if probing {
+		// Final sample at the next round boundary: the end state of the
+		// run, after the last delivery.
+		r.opts.Probe(nextProbe)
 	}
 	if !r.opts.Quiesce {
 		for id, h := range r.halted {
