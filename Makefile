@@ -21,7 +21,7 @@ check: build vet test race-core registry-coverage fuzz-smoke golden-check bench-
 # satisfaction, matching, lid) are included: they share read-only CSR
 # slices across goroutines, which the race detector must keep honest.
 race-core: vet
-	$(GO) test -race -short ./internal/par/... ./internal/metrics/... ./internal/simnet/... ./internal/faults/... ./internal/detector/... ./internal/reliable/... ./internal/graph/... ./internal/pref/... ./internal/satisfaction/... ./internal/matching/... ./internal/lid/... ./internal/obs/...
+	$(GO) test -race -short ./internal/par/... ./internal/metrics/... ./internal/simnet/... ./internal/faults/... ./internal/detector/... ./internal/reliable/... ./internal/graph/... ./internal/pref/... ./internal/satisfaction/... ./internal/matching/... ./internal/lid/... ./internal/obs/... ./internal/workload/... ./internal/tournament/...
 
 # Every registered experiment must still run under quick parameters —
 # catches experiments silently falling out of the registry.
@@ -53,26 +53,29 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzFaultSpecParse -fuzztime 30s ./internal/faults
 	$(GO) test -fuzz FuzzReplayFile -fuzztime 30s ./internal/faults
 	$(GO) test -fuzz FuzzDetectorConfigParse -fuzztime 30s ./internal/detector
+	$(GO) test -fuzz FuzzWorkloadSpecParse -fuzztime 30s ./internal/workload
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Deterministic machine-readable benchmark trajectory: fixed seeds and
-# iteration counts. PR6 rows sweep every *Par benchmark over worker
+# iteration counts. PR7 adds the tournament-scoring rows (full bracket
+# over the default scenario suite); the *Par benchmarks sweep worker
 # counts 1/2/4 (the workload columns must be identical at each count);
-# BENCH_PR4.json and BENCH_PR5.json stay committed as the previous
+# BENCH_PR4.json through BENCH_PR6.json stay committed as the previous
 # points of the trajectory.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR6.json -phase after -merge -workers-sweep 1,2,4
+	$(GO) run ./cmd/benchjson -out BENCH_PR7.json -phase after -merge -workers-sweep 1,2,4
 
 # Benchmark regression gate: fresh -quick measurements must stay within
-# tolerance of the committed PR5 baseline (allocation figures gated,
-# workload metrics exact, wall clock report-only), and — the negative
-# control — must FAIL against a synthetically regressed fixture, so a
-# broken gate cannot pass silently.
+# tolerance of the committed PR6 baseline (allocation figures gated,
+# workload metrics exact, wall clock report-only; rows new in PR7 are
+# notes, not failures), and — the negative control — must FAIL against
+# a synthetically regressed fixture, so a broken gate cannot pass
+# silently.
 bench-check:
 	$(GO) test -count=1 ./cmd/benchjson
-	$(GO) run ./cmd/benchjson -quick -compare BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -quick -compare BENCH_PR6.json
 	! $(GO) run ./cmd/benchjson -quick -compare cmd/benchjson/testdata/regressed_baseline.json
 
 # The golden experiments file must regenerate to the exact committed

@@ -2,7 +2,7 @@
 // seeds and fixed iteration counts and writes the results as JSON rows
 // (ns/op, B/op, allocs/op plus headline metrics). It seeds the repo's
 // persisted perf trajectory: `make bench-json` regenerates
-// BENCH_PR6.json, and rows are tagged with a phase ("before"/"after")
+// BENCH_PR7.json, and rows are tagged with a phase ("before"/"after")
 // so a representation change can commit its own measured payoff next
 // to the baseline it replaced.
 //
@@ -37,6 +37,8 @@ import (
 	"overlaymatch/internal/pref"
 	"overlaymatch/internal/rng"
 	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/tournament"
+	"overlaymatch/internal/workload"
 )
 
 // Row is one benchmark measurement. Workers is 0 for serial rows and
@@ -184,6 +186,43 @@ func runBenchmarks(phase string, sweep []int, quick bool) []Row {
 		})
 	}
 
+	// The tournament scoring path (the PR-7 surface): one full bracket
+	// over the default scenario suite — instance build, LIC reference,
+	// all three probed contenders, ranking. The workload metrics pin the
+	// scored outcome (cell count, cumulative messages, matched weight
+	// summed over every cell), so any drift in a contender or in the
+	// scoring shows up as a metrics failure in the gate, not just a
+	// timing delta.
+	tSizes := []struct{ n, iters int }{
+		{64, 5},
+		{256, 2},
+	}
+	if quick {
+		tSizes = tSizes[:1]
+	}
+	for _, sz := range tSizes {
+		specs := workload.DefaultSuite(sz.n)
+		algs := tournament.DefaultAlgorithms()
+		opts := tournament.Options{Seed: 7}
+		ref, err := tournament.RunBracket(specs, algs, opts)
+		if err != nil {
+			panic(err)
+		}
+		met := map[string]float64{"scenarios": float64(len(ref))}
+		for _, r := range ref {
+			for _, c := range r.Cells {
+				met["cells"]++
+				met["msgs"] += float64(c.Msgs)
+				met["weight"] += c.MatchedWeight
+			}
+		}
+		add("Tournament", sz.n, 0, sz.iters, met, func() {
+			if _, err := tournament.RunBracket(specs, algs, opts); err != nil {
+				panic(err)
+			}
+		})
+	}
+
 	// The literal Algorithm-2 loop, whose pool handling is the
 	// complexity-class target (O(m²) rescans → O(m·Δ) incremental).
 	literal := []struct{ n, iters int }{
@@ -212,7 +251,7 @@ func runBenchmarks(phase string, sweep []int, quick bool) []Row {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "output file")
+	out := flag.String("out", "BENCH_PR7.json", "output file")
 	phase := flag.String("phase", "after", "phase tag for the emitted rows (before|after)")
 	merge := flag.Bool("merge", true, "keep rows of other phases already in the output file")
 	sweepFlag := flag.String("workers-sweep", "8", "comma-separated worker counts for the *Par rows (workload output must be identical at every count)")

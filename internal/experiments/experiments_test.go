@@ -9,6 +9,7 @@ import (
 
 	mreg "overlaymatch/internal/metrics"
 	"overlaymatch/internal/obs"
+	"overlaymatch/internal/workload"
 )
 
 // The experiment runners enforce the paper's bounds internally
@@ -19,8 +20,8 @@ func quickCfg() Config { return Config{Seed: 12345, Quick: true} }
 
 func TestAllRegistryComplete(t *testing.T) {
 	exps := All()
-	if len(exps) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(exps))
 	}
 	for i, e := range exps {
 		want := "E" + strconv.Itoa(i+1)
@@ -356,6 +357,40 @@ func TestE17(t *testing.T) {
 	g := cfg.Metrics.Gauge(obs.SummaryPrefix+obs.EpsKey(0), "")
 	if g.Value() <= 0 {
 		t.Fatalf("stability summary gauge not published (eps=0 at %v)", g.Value())
+	}
+}
+
+func TestE18(t *testing.T) {
+	tables, err := E18Tournament(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("E18 should produce bracket + summary tables, got %d", len(tables))
+	}
+	families := workload.Families()
+	if got, want := tables[0].NumRows(), 3*len(families); got != want {
+		t.Fatalf("E18 bracket rows = %d, want %d (3 contenders x %d families)", got, want, len(families))
+	}
+	if got, want := tables[1].NumRows(), len(families); got != want {
+		t.Fatalf("E18 summary rows = %d, want one per family (%d)", got, want)
+	}
+	// Scenario-family coverage: every workload family must appear in the
+	// summary, so adding a family without it entering the tournament (or
+	// the suite silently dropping one) cannot pass the registry sweep.
+	var b strings.Builder
+	if err := tables[1].WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	seen := map[string]bool{}
+	for _, line := range lines[1:] {
+		seen[strings.Split(line, ",")[0]] = true
+	}
+	for _, fam := range families {
+		if !seen[fam] {
+			t.Fatalf("E18 summary misses workload family %q", fam)
+		}
 	}
 }
 

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestE17SubUnitProbeInterval is the regression test for the probe
+// drift bug: `experiments -quick -probe-interval 0.25` used to
+// accumulate probe times by repeated addition, drifting off the tick
+// grid within a round and collapsing the sub-second samples the flag
+// was asked for. Tick-aligned probing must deliver one row per exact
+// multiple of the interval — roughly 1/interval times the rows of the
+// unit-interval run — with every probe time on the grid.
+func TestE17SubUnitProbeInterval(t *testing.T) {
+	rows := func(interval float64) [][]string {
+		cfg := quickCfg()
+		cfg.ProbeInterval = interval
+		tables, err := E17StabilityCurve(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := tables[0].WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+		out := make([][]string, 0, len(lines)-1)
+		for _, line := range lines[1:] {
+			out = append(out, strings.Split(line, ","))
+		}
+		return out
+	}
+
+	const interval = 0.25
+	unit, fine := rows(1), rows(interval)
+	if len(fine) < 3*len(unit) {
+		t.Fatalf("interval %v produced %d curve rows vs %d at interval 1 — sub-unit probes collapsed",
+			interval, len(fine), len(unit))
+	}
+	for _, r := range fine {
+		tm, err := strconv.ParseFloat(r[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ticks := tm / interval
+		if ticks != math.Trunc(ticks) {
+			t.Fatalf("probe time %v is not a multiple of %v (drifted off the tick grid)", tm, interval)
+		}
+	}
+}

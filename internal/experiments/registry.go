@@ -37,6 +37,7 @@ func All() []Experiment {
 		{"E15", "Fault-injection sweep through the reliability substrate", E15FaultSweep},
 		{"E16", "Self-healing under crash windows (detector + repair)", E16SelfHealing},
 		{"E17", "Convergence telemetry: rounds vs blocking pairs", E17StabilityCurve},
+		{"E18", "Stability tournament: LID vs Gale-Shapley vs backup placement", E18Tournament},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idLess(exps[i].ID, exps[j].ID) })
 	return exps

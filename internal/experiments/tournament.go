@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"overlaymatch/internal/obs"
+	"overlaymatch/internal/stats"
+	"overlaymatch/internal/tournament"
+	"overlaymatch/internal/workload"
+)
+
+// e18Workers is the worker sweep of E18's determinism check: the entire
+// scored bracket — every cell of every scenario, JSON-marshalled — must
+// be byte-identical for every worker count, the same bar E17 holds the
+// probe series to.
+var e18Workers = []int{1, 2, 4}
+
+// E18Tournament: the stability tournament. One production-shaped
+// scenario per workload family (workload.DefaultSuite) hosts the three
+// contenders — LID (the paper's Algorithm 1), a distributed
+// Gale–Shapley propose/accept loop over the same shared eq.-9 weight
+// order, and the Barenboim–Oren-style one-round backup placement — and
+// every (scenario, algorithm) cell is scored with the PR 6 stability
+// yardsticks: matched-weight fraction of the LIC optimum, blocking
+// pairs under the weight order, the rounds-to-ε ladder, and cumulative
+// message/byte cost.
+//
+// Beyond tabulating the bracket, four properties are enforced as hard
+// errors:
+//
+//   - LID ends exactly stable on every scenario: weight fraction
+//     exactly 1 and exactly 0 blocking pairs (Lemmas 3–6: LID
+//     terminates in LIC, and LIC is stable under the shared order).
+//   - On every non-adversarial scenario no contender beats LID's
+//     weight fraction (the adversarial families master/antilocal are
+//     exactly the distributions built to dethrone greedy locality, so
+//     they are exempt — that is what makes them interesting columns).
+//   - Every cell's stability accounting is populated: the full
+//     rounds-to-ε ladder, positive message and byte totals, ranks a
+//     strict 1..k per scenario.
+//   - The whole bracket is byte-identical across worker counts
+//     {1, 2, 4} and the instance derivation is spec-keyed, so the
+//     bracket a CLI replay of any single spec produces agrees with the
+//     suite's cell.
+func E18Tournament(cfg Config) ([]*stats.Table, error) {
+	n := cfg.pick(48, 240)
+	specs := workload.DefaultSuite(n)
+	opts := tournament.Options{Seed: cfg.Seed + 18, ProbeInterval: cfg.ProbeInterval}
+
+	var (
+		results  []tournament.ScenarioResult
+		baseline string
+	)
+	for i, workers := range e18Workers {
+		opts.Workers = workers
+		res, err := tournament.RunBracket(specs, tournament.DefaultAlgorithms(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("E18 workers=%d: %w", workers, err)
+		}
+		var cells []tournament.Cell
+		for _, r := range res {
+			cells = append(cells, r.Cells...)
+		}
+		raw, err := json.Marshal(cells)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			results, baseline = res, string(raw)
+		} else if string(raw) != baseline {
+			return nil, fmt.Errorf("E18: bracket with %d workers differs from %d workers — scoring must be schedule-free",
+				workers, e18Workers[0])
+		}
+	}
+
+	bracket := stats.NewTable("E18: stability tournament (scenario x algorithm, ranked per scenario)",
+		"scenario", "alg", "rank", "weight frac", "blocking pairs", "unmatched",
+		"eps=0.01", "eps=0", "msgs", "bytes", "final t")
+	summary := stats.NewTable("E18 summary: per-scenario podium",
+		"scenario", "spec", "n", "edges", "winner", "lid frac", "gs frac", "bp frac", "workers")
+
+	for _, r := range results {
+		frac := map[string]float64{}
+		var lidCell *tournament.Cell
+		for i := range r.Cells {
+			c := &r.Cells[i]
+			if c.Rank != i+1 {
+				return nil, fmt.Errorf("E18 %s: cell %d carries rank %d", r.Spec, i, c.Rank)
+			}
+			if c.Msgs <= 0 || c.Bytes <= 0 {
+				return nil, fmt.Errorf("E18 %s/%s: empty message accounting (msgs=%d bytes=%d)",
+					r.Spec, c.Algorithm, c.Msgs, c.Bytes)
+			}
+			for _, eps := range obs.Epsilons {
+				if _, ok := c.RoundsToEps[obs.EpsKey(eps)]; !ok {
+					return nil, fmt.Errorf("E18 %s/%s: rounds-to-eps ladder misses %s", r.Spec, c.Algorithm, obs.EpsKey(eps))
+				}
+			}
+			frac[c.Algorithm] = c.WeightFrac
+			if c.Algorithm == "lid" {
+				lidCell = c
+			}
+			bracket.AddRowf(c.Scenario, c.Algorithm, c.Rank,
+				fmt.Sprintf("%.4f", c.WeightFrac), c.BlockingPairs, c.Unmatched,
+				c.RoundsToEps[obs.EpsKey(0.01)], c.RoundsToEps[obs.EpsKey(0)],
+				c.Msgs, c.Bytes, c.FinalTime)
+		}
+		if lidCell == nil {
+			return nil, fmt.Errorf("E18 %s: no LID cell", r.Spec)
+		}
+		if lidCell.WeightFrac != 1 || lidCell.BlockingPairs != 0 {
+			return nil, fmt.Errorf("E18 %s: LID ended at weight frac %v with %d blocking pairs — LID must terminate in LIC, exactly stable",
+				r.Spec, lidCell.WeightFrac, lidCell.BlockingPairs)
+		}
+		for _, c := range r.Cells {
+			if !r.Spec.Adversarial() && c.WeightFrac > lidCell.WeightFrac {
+				return nil, fmt.Errorf("E18 %s: %s weight fraction %v beats LID's %v on a non-adversarial scenario",
+					r.Spec, c.Algorithm, c.WeightFrac, lidCell.WeightFrac)
+			}
+		}
+		win := r.Cells[0]
+		summary.AddRowf(win.Scenario, r.Spec.String(), win.N, win.Edges, win.Algorithm,
+			fmt.Sprintf("%.4f", frac["lid"]), fmt.Sprintf("%.4f", frac["gs"]), fmt.Sprintf("%.4f", frac["bp"]),
+			fmt.Sprintf("identical x%d", len(e18Workers)))
+	}
+	return []*stats.Table{bracket, summary}, nil
+}

@@ -159,6 +159,47 @@ func TestRunnerProbeSchedule(t *testing.T) {
 	}
 }
 
+func TestRunnerProbeTickAligned(t *testing.T) {
+	// Regression: probe times were accumulated by repeated addition of
+	// the interval, so a non-dyadic interval drifted off the tick grid
+	// (ten 0.1-steps sum to 0.9999999999999999 < 1.0, squeezing an
+	// eleventh sample into the first unit-latency round). Probe times
+	// must be exact multiples of the interval — float64(k) * interval —
+	// with exactly one sample per tick.
+	const n = 5
+	for _, interval := range []float64{0.1, 0.25, 0.2} {
+		var times []float64
+		hs := make([]Handler, n)
+		for i := range hs {
+			hs[i] = chainHandler{n: n}
+		}
+		r := NewRunner(n, Options{
+			Seed:          1,
+			Probe:         func(tm float64) { times = append(times, tm) },
+			ProbeInterval: interval,
+		})
+		if _, err := r.Run(hs); err != nil {
+			t.Fatal(err)
+		}
+		// chainHandler's last delivery is at t = 4: ticks 0..ceil(4/iv)
+		// in-loop coverage plus the final drain sample.
+		for k, tm := range times {
+			if want := float64(k) * interval; tm != want {
+				t.Fatalf("interval %v: probe %d at t=%v, want exact tick %v (times %v)",
+					interval, k, tm, want, times)
+			}
+		}
+		wantLen := int(4/interval) + 1
+		if float64(wantLen-1)*interval < 4 {
+			wantLen++
+		}
+		if len(times) != wantLen {
+			t.Fatalf("interval %v: %d probes %v, want %d (one per tick, no drift duplicates)",
+				interval, len(times), times, wantLen)
+		}
+	}
+}
+
 // BenchmarkRunnerHotPathNoObs enforces the zero-cost contract: with
 // telemetry and probes off, the per-delivery path must not allocate.
 func BenchmarkRunnerHotPathNoObs(b *testing.B) {

@@ -301,7 +301,14 @@ func (r *Runner) Run(handlers []Handler) (Stats, error) {
 	ctx := &runnerCtx{r: r}
 	delivered := 0
 	probing := r.opts.Probe != nil && r.opts.ProbeInterval > 0
-	nextProbe := 0.0
+	// Probe times are tick-aligned — float64(tick) * interval — instead
+	// of accumulated by repeated addition: summing a non-dyadic interval
+	// (0.1, 0.25·1.1, ...) drifts off the grid within a handful of
+	// probes (ten 0.1-steps give 0.9999999999999999 < 1.0, an eleventh
+	// sample where ten belong) and every later probe time carries the
+	// accumulated error.
+	probeTick := 0
+	nextProbe := func() float64 { return float64(probeTick) * r.opts.ProbeInterval }
 	for len(r.queue) > 0 {
 		e := r.queue.pop()
 		if r.opts.MaxDeliveries > 0 && delivered >= r.opts.MaxDeliveries {
@@ -312,9 +319,9 @@ func (r *Runner) Run(handlers []Handler) (Stats, error) {
 			// A probe at t fires once every event strictly before t is
 			// processed: with unit latency, probe k reports the state
 			// after round k.
-			for nextProbe < e.time {
-				r.opts.Probe(nextProbe)
-				nextProbe += r.opts.ProbeInterval
+			for nextProbe() < e.time {
+				r.opts.Probe(nextProbe())
+				probeTick++
 			}
 		}
 		if e.timer {
@@ -336,7 +343,7 @@ func (r *Runner) Run(handlers []Handler) (Stats, error) {
 	if probing {
 		// Final sample at the next round boundary: the end state of the
 		// run, after the last delivery.
-		r.opts.Probe(nextProbe)
+		r.opts.Probe(nextProbe())
 	}
 	if !r.opts.Quiesce {
 		for id, h := range r.halted {

@@ -1,0 +1,23 @@
+package tournament
+
+import (
+	"overlaymatch/internal/lid"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
+)
+
+// LID is the paper's Algorithm 1 as a tournament contender: a thin
+// adapter over lid.RunEventProbed, so a bracket cell is the very same
+// execution a standalone lid.RunEvent with the same seed performs —
+// the equivalence the tournament tests pin down to the message counts.
+type LID struct{}
+
+// Name implements Algorithm.
+func (LID) Name() string { return "lid" }
+
+// Run implements Algorithm.
+func (LID) Run(s *pref.System, tbl *satisfaction.Table, opts Options) (Outcome, error) {
+	res, prober, err := lid.RunEventProbed(s, tbl, simnet.Options{Seed: opts.Seed}, opts.interval(), opts.Registry)
+	return Outcome{Matching: res.Matching, Stats: res.Stats, Prober: prober}, err
+}

@@ -1,0 +1,81 @@
+package tournament
+
+import (
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/obs"
+	"overlaymatch/internal/pref"
+	"overlaymatch/internal/satisfaction"
+)
+
+// stabilitySampler generalizes lid.StabilitySampler to any contender:
+// the protocol exposes only a matched predicate over edges (both
+// endpoints consider the connection established) and the sampler
+// derives the stability measurements from it, with the exact
+// definitions the LID sampler uses so every bracket cell's columns are
+// comparable:
+//
+//   - matched weight sums the eq.-9 weight of matched edges;
+//   - a node is unmatched while it has zero matched connections;
+//   - {u,v} is a blocking pair if the edge is unmatched and each
+//     endpoint would accept the other — free quota, or a strictly
+//     heavier WeightKey than the endpoint's lightest matched
+//     connection, under the shared eq.-9 weight order.
+//
+// totals, if non-nil, supplies cumulative (messages, bytes) counters
+// (Runner.SentTotals). The sampler only reads protocol state through
+// the predicate; its scratch buffers are reused across probes.
+func stabilitySampler(s *pref.System, tbl *satisfaction.Table, matched func(u, v graph.NodeID) bool, totals func() (msgs, bytes int64)) func(t float64) obs.StabilitySample {
+	g := s.Graph()
+	edges := g.Edges()
+	deg := make([]int, g.NumNodes())
+	lightest := make([]satisfaction.WeightKey, g.NumNodes())
+	isMatched := make([]bool, len(edges))
+	record := func(u, v graph.NodeID) {
+		deg[u]++
+		k := tbl.Key(u, v)
+		if deg[u] == 1 || lightest[u].Heavier(k) {
+			lightest[u] = k
+		}
+	}
+	return func(t float64) obs.StabilitySample {
+		var smp obs.StabilitySample
+		if totals != nil {
+			smp.Msgs, smp.Bytes = totals()
+		}
+		clear(deg)
+		for ei, e := range edges {
+			m := matched(e.U, e.V)
+			isMatched[ei] = m
+			if !m {
+				continue
+			}
+			smp.MatchedWeight += satisfaction.EdgeWeight(s, e)
+			record(e.U, e.V)
+			record(e.V, e.U)
+		}
+		for _, d := range deg {
+			if d == 0 {
+				smp.UnmatchedNodes++
+			}
+		}
+		accepts := func(u, v graph.NodeID) bool {
+			q := s.Quota(u)
+			if deg[u] < q {
+				return true
+			}
+			if q == 0 {
+				return false
+			}
+			return tbl.Key(u, v).Heavier(lightest[u])
+		}
+		for ei, e := range edges {
+			if isMatched[ei] {
+				continue
+			}
+			if accepts(e.U, e.V) && accepts(e.V, e.U) {
+				smp.BlockingPairs++
+			}
+		}
+		return smp
+	}
+}

@@ -1,0 +1,54 @@
+package workload
+
+import "testing"
+
+// FuzzWorkloadSpecParse mirrors FuzzFaultSpecParse: anything Parse
+// accepts must validate, render to a canonical string that re-parses
+// to the same spec, and keep that canonical form stable — and neither
+// Parse nor String may panic on any input.
+func FuzzWorkloadSpecParse(f *testing.F) {
+	f.Add("swarm")
+	f.Add("swarm:n=512,zipf=1.4")
+	f.Add("geo:n=128,steps=6,sigma=0.1,radius=0.2")
+	f.Add("drift:epochs=3,dsigma=0.4,dims=4,comms=3")
+	f.Add("hetero:superfrac=0.1,superb=12")
+	f.Add("master:clique=0.5")
+	f.Add("antilocal:n=40")
+	f.Add("antilocal:b=2")
+	f.Add("swarm:zipf=NaN")
+	f.Add("swarm:n=99999999999")
+	f.Add("geo:radius=1e300")
+	f.Add("swarm:n=12,n=13")
+	f.Add("bogus:n=1")
+	f.Add("swarm:")
+	f.Add(":n=1")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Parse(in)
+		if err != nil {
+			return // rejected input is fine; not panicking is the point
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted an invalid spec: %v", in, verr)
+		}
+		canon := s.String()
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", canon, in, err)
+		}
+		if s2 != s {
+			t.Fatalf("round trip of %q changed the spec: %+v -> %+v", in, s, s2)
+		}
+		if s2.String() != canon {
+			t.Fatalf("canonical form unstable: %q -> %q", canon, s2.String())
+		}
+		// Resolution must stay inside the grammar for any accepted spec.
+		r := s.Resolved()
+		if verr := r.Validate(); verr != nil {
+			t.Fatalf("Resolved(%q) = %+v does not validate: %v", canon, r, verr)
+		}
+		if _, rerr := Parse(r.String()); rerr != nil {
+			t.Fatalf("resolved form %q does not re-parse: %v", r, rerr)
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"swarm",
+		"geo",
+		"drift",
+		"hetero",
+		"master",
+		"antilocal",
+		"swarm:n=512,zipf=1.4",
+		"swarm:n=64,b=2,swarms=8,joins=3,peers=2,zipf=0.8",
+		"geo:n=128,steps=6,sigma=0.1,radius=0.2",
+		"drift:n=96,b=2,epochs=3,dsigma=0.4,dims=4,comms=3",
+		"hetero:n=200,b=2,superfrac=0.1,superb=12",
+		"master:n=80,clique=0.5",
+		"antilocal:n=40",
+		"antilocal:n=40,b=1",
+	}
+	for _, in := range cases {
+		s, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		canon := s.String()
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = Parse(%q): %v", in, canon, err)
+		}
+		if s2 != s {
+			t.Fatalf("round trip of %q changed the spec: %+v -> %+v", in, s, s2)
+		}
+		if s2.String() != canon {
+			t.Fatalf("canonical form of %q unstable: %q -> %q", in, canon, s2.String())
+		}
+	}
+}
+
+func TestSpecParseRejects(t *testing.T) {
+	cases := []string{
+		"",
+		"unknownfamily",
+		"swarm:",
+		"swarm:n",
+		"swarm:n=",
+		"swarm:n=abc",
+		"swarm:n=12,n=13",     // repeated key
+		"swarm:steps=3",       // geo key on swarm
+		"geo:zipf=1.2",        // swarm key on geo
+		"swarm:zipf=NaN",      // NaN
+		"swarm:zipf=-1",       // negative
+		"swarm:zipf=100",      // above ceiling
+		"geo:radius=7",        // above ceiling
+		"master:clique=2",     // above ceiling
+		"antilocal:b=2",       // antilocal forces b=1
+		"swarm:n=99999999999", // above node ceiling
+		"swarm:bogus=1",       // unknown key
+	}
+	for _, in := range cases {
+		if s, err := Parse(in); err == nil {
+			t.Fatalf("Parse(%q) accepted as %+v, want error", in, s)
+		}
+	}
+}
+
+func TestSpecResolvedFillsDefaults(t *testing.T) {
+	for _, fam := range Families() {
+		s := Spec{Family: fam}
+		r := s.Resolved()
+		if r.N == 0 || r.B == 0 && fam != "antilocal" {
+			t.Fatalf("%s: Resolved left n/b at zero: %+v", fam, r)
+		}
+		if fam == "antilocal" && r.B != 1 {
+			t.Fatalf("antilocal resolved quota %d, want 1", r.B)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("%s: resolved spec does not validate: %v", fam, err)
+		}
+		// Resolved specs stay inside the grammar.
+		rt, err := Parse(r.String())
+		if err != nil {
+			t.Fatalf("%s: resolved spec %q does not re-parse: %v", fam, r, err)
+		}
+		if rt != r {
+			t.Fatalf("%s: resolved spec round trip changed: %+v -> %+v", fam, r, rt)
+		}
+		// Resolution is idempotent.
+		if r.Resolved() != r {
+			t.Fatalf("%s: Resolved not idempotent", fam)
+		}
+	}
+}
+
+func TestDefaultSuiteCoversEveryFamily(t *testing.T) {
+	suite := DefaultSuite(64)
+	if len(suite) != len(Families()) {
+		t.Fatalf("DefaultSuite has %d specs for %d families", len(suite), len(Families()))
+	}
+	seen := map[string]bool{}
+	for _, s := range suite {
+		if s.N != 64 {
+			t.Fatalf("DefaultSuite(64) produced n=%d", s.N)
+		}
+		seen[s.Family] = true
+	}
+	for _, fam := range Families() {
+		if !seen[fam] {
+			t.Fatalf("DefaultSuite misses family %s", fam)
+		}
+	}
+}
+
+func TestAdversarialFlag(t *testing.T) {
+	adversarial := map[string]bool{"master": true, "antilocal": true}
+	for _, fam := range Families() {
+		if got := (Spec{Family: fam}).Adversarial(); got != adversarial[fam] {
+			t.Fatalf("%s: Adversarial() = %v, want %v", fam, got, adversarial[fam])
+		}
+	}
+}
+
+func TestSpecStringBareFamily(t *testing.T) {
+	for _, fam := range Families() {
+		if got := (Spec{Family: fam}).String(); got != fam {
+			t.Fatalf("defaulted spec renders %q, want bare family %q", got, fam)
+		}
+	}
+	if got := (Spec{Family: "swarm", N: 32}).String(); got != "swarm:n=32" {
+		t.Fatalf("spec string %q, want swarm:n=32", got)
+	}
+	if !strings.Contains((Spec{Family: "drift", DriftSigma: 0.25}).String(), "dsigma=0.25") {
+		t.Fatal("dsigma key missing from drift spec string")
+	}
+}
