@@ -21,7 +21,7 @@ check: build vet test race-core registry-coverage fuzz-smoke golden-check bench-
 # satisfaction, matching, lid) are included: they share read-only CSR
 # slices across goroutines, which the race detector must keep honest.
 race-core: vet
-	$(GO) test -race -short ./internal/par/... ./internal/metrics/... ./internal/simnet/... ./internal/faults/... ./internal/detector/... ./internal/reliable/... ./internal/graph/... ./internal/pref/... ./internal/satisfaction/... ./internal/matching/... ./internal/lid/... ./internal/obs/... ./internal/workload/... ./internal/tournament/...
+	$(GO) test -race -short ./internal/par/... ./internal/metrics/... ./internal/simnet/... ./internal/faults/... ./internal/detector/... ./internal/reliable/... ./internal/graph/... ./internal/pref/... ./internal/satisfaction/... ./internal/matching/... ./internal/lid/... ./internal/obs/... ./internal/workload/... ./internal/tournament/... ./internal/dynamic/...
 
 # Every registered experiment must still run under quick parameters —
 # catches experiments silently falling out of the registry.
@@ -54,28 +54,29 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzReplayFile -fuzztime 30s ./internal/faults
 	$(GO) test -fuzz FuzzDetectorConfigParse -fuzztime 30s ./internal/detector
 	$(GO) test -fuzz FuzzWorkloadSpecParse -fuzztime 30s ./internal/workload
+	$(GO) test -fuzz FuzzChurnSpecParse -fuzztime 30s ./internal/dynamic
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Deterministic machine-readable benchmark trajectory: fixed seeds and
-# iteration counts. PR7 adds the tournament-scoring rows (full bracket
-# over the default scenario suite); the *Par benchmarks sweep worker
-# counts 1/2/4 (the workload columns must be identical at each count);
-# BENCH_PR4.json through BENCH_PR6.json stay committed as the previous
-# points of the trajectory.
+# iteration counts. PR8 adds the churn-engine rows (a fixed membership
+# feed drained at full, truncated, and shedding budgets); the *Par
+# benchmarks sweep worker counts 1/2/4 (the workload columns must be
+# identical at each count); BENCH_PR4.json through BENCH_PR7.json stay
+# committed as the previous points of the trajectory.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR7.json -phase after -merge -workers-sweep 1,2,4
+	$(GO) run ./cmd/benchjson -out BENCH_PR8.json -phase after -merge -workers-sweep 1,2,4
 
 # Benchmark regression gate: fresh -quick measurements must stay within
-# tolerance of the committed PR6 baseline (allocation figures gated,
-# workload metrics exact, wall clock report-only; rows new in PR7 are
+# tolerance of the committed PR7 baseline (allocation figures gated,
+# workload metrics exact, wall clock report-only; rows new in PR8 are
 # notes, not failures), and — the negative control — must FAIL against
 # a synthetically regressed fixture, so a broken gate cannot pass
 # silently.
 bench-check:
 	$(GO) test -count=1 ./cmd/benchjson
-	$(GO) run ./cmd/benchjson -quick -compare BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -quick -compare BENCH_PR7.json
 	! $(GO) run ./cmd/benchjson -quick -compare cmd/benchjson/testdata/regressed_baseline.json
 
 # The golden experiments file must regenerate to the exact committed

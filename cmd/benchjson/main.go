@@ -2,7 +2,7 @@
 // seeds and fixed iteration counts and writes the results as JSON rows
 // (ns/op, B/op, allocs/op plus headline metrics). It seeds the repo's
 // persisted perf trajectory: `make bench-json` regenerates
-// BENCH_PR7.json, and rows are tagged with a phase ("before"/"after")
+// BENCH_PR8.json, and rows are tagged with a phase ("before"/"after")
 // so a representation change can commit its own measured payoff next
 // to the baseline it replaced.
 //
@@ -31,6 +31,7 @@ import (
 	"sort"
 	"time"
 
+	"overlaymatch/internal/dynamic"
 	"overlaymatch/internal/gen"
 	"overlaymatch/internal/graph"
 	"overlaymatch/internal/matching"
@@ -223,6 +224,58 @@ func runBenchmarks(phase string, sweep []int, quick bool) []Row {
 		})
 	}
 
+	// The churn-survival engine (the PR-8 surface): a fixed membership
+	// feed drained through the epoch queue at three budgets — full
+	// repair, one-round truncation, and an overload-shedding
+	// configuration. The workload metrics pin the engine's outcome
+	// (epoch/retry/shed counts, the certified deferred bound, matched
+	// size and weight), so a behavioural drift in batching, bounded
+	// repair, or shedding fails the gate rather than hiding in timing.
+	cSizes := []struct{ n, iters int }{
+		{1_000, 10},
+		{10_000, 2},
+	}
+	if quick {
+		cSizes = cSizes[:1]
+	}
+	churnBudgets := []struct {
+		label        string
+		rounds, shed int
+	}{
+		{"ChurnFull", 0, 0},
+		{"ChurnK1", 1, 0},
+		{"ChurnShed", 0, 2},
+	}
+	for _, sz := range cSizes {
+		s := benchSystem(uint64(4000+sz.n), sz.n, 3)
+		feed := dynamic.ChurnSpec{Events: 200, LeaveProb: 0.55, MinAlive: sz.n / 4, Rate: 4}
+		for _, b := range churnBudgets {
+			run := func() *dynamic.Engine {
+				eng, err := dynamic.NewEngine(s, dynamic.EngineOptions{
+					RepairRounds: b.rounds, ShedDepth: b.shed,
+				})
+				if err != nil {
+					panic(err)
+				}
+				if _, err := dynamic.RunEngineChurn(eng, feed, uint64(8000+sz.n)); err != nil {
+					panic(err)
+				}
+				return eng
+			}
+			eng := run()
+			o := eng.Overlay()
+			met := map[string]float64{
+				"epochs":   float64(len(eng.Records())),
+				"retries":  float64(eng.TotalRetries()),
+				"sheds":    float64(eng.TotalSheds()),
+				"deferred": float64(eng.DeferredBound()),
+				"matched":  float64(o.Matching().Size()),
+				"weight":   o.Matching().Weight(o.System()),
+			}
+			add(b.label, sz.n, 0, sz.iters, met, func() { run() })
+		}
+	}
+
 	// The literal Algorithm-2 loop, whose pool handling is the
 	// complexity-class target (O(m²) rescans → O(m·Δ) incremental).
 	literal := []struct{ n, iters int }{
@@ -251,7 +304,7 @@ func runBenchmarks(phase string, sweep []int, quick bool) []Row {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "output file")
+	out := flag.String("out", "BENCH_PR8.json", "output file")
 	phase := flag.String("phase", "after", "phase tag for the emitted rows (before|after)")
 	merge := flag.Bool("merge", true, "keep rows of other phases already in the output file")
 	sweepFlag := flag.String("workers-sweep", "8", "comma-separated worker counts for the *Par rows (workload output must be identical at every count)")

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"overlaymatch/internal/detector"
+	"overlaymatch/internal/dynamic"
 	"overlaymatch/internal/experiments"
 	"overlaymatch/internal/faults"
 	"overlaymatch/internal/metrics"
@@ -48,6 +49,9 @@ func main() {
 		hbInt   = flag.Float64("hb-interval", 0, "override E16's heartbeat interval (virtual time units)")
 		phiThr  = flag.Float64("phi-threshold", 0, "override E16's phi suspicion threshold")
 		probeIv = flag.Float64("probe-interval", 0, "virtual-time spacing of the stability probes (E17); 0 = one probe per unit-latency round")
+		churnF  = flag.String("churn", "off", `churn feed of the churn-survival experiment (E19): "events=200,leave=0.5,minalive=8,rate=2" (off = E19's built-in feed)`)
+		repairK = flag.Int("repair-rounds", 0, "repair budget of E19's truncated rows (0 = sweep {1,2,4})")
+		shedD   = flag.Int("shed-depth", 0, "shedding threshold of E19's overload row (0 = default 2)")
 	)
 	flag.Parse()
 
@@ -107,8 +111,17 @@ func main() {
 		w = f
 	}
 
+	if *repairK < 0 || *shedD < 0 {
+		fail("-repair-rounds and -shed-depth must be non-negative")
+	}
+	churnSpec, err := dynamic.ParseChurnSpec(*churnF)
+	if err != nil {
+		fail("%v", err)
+	}
+
 	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers,
-		RTO: *rto, AdaptiveRTO: *adapt, ProbeInterval: *probeIv}
+		RTO: *rto, AdaptiveRTO: *adapt, ProbeInterval: *probeIv,
+		Churn: churnSpec, RepairRounds: *repairK, ShedDepth: *shedD}
 	if *detStr != "" || *hbInt > 0 || *phiThr > 0 {
 		det, err := detector.Parse(*detStr)
 		if err != nil {

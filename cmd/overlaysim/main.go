@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"overlaymatch/internal/detector"
+	"overlaymatch/internal/dynamic"
 	"overlaymatch/internal/faults"
 	"overlaymatch/internal/gen"
 	"overlaymatch/internal/graph"
@@ -72,6 +73,9 @@ func main() {
 		phiThr   = flag.Float64("phi-threshold", 0, "phi suspicion threshold override (implies -detector on)")
 		replay   = flag.String("replay", "", "re-execute a frozen replay file (see faults.Explore) and report the verdict")
 		workers  = flag.Int("workers", 0, "goroutines for the deterministic parallel weight-table build (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
+		churnStr = flag.String("churn", "off", `run the churn-survival engine instead of the distributed sim: "events=200,leave=0.5,minalive=8,rate=2" (see internal/dynamic)`)
+		repairK  = flag.Int("repair-rounds", 0, "truncate each repair epoch after this many cascade rounds (0 = full budget; needs -churn)")
+		shedD    = flag.Int("shed-depth", 0, "shed epochs whose batch exceeds this to one-round backup placement (0 = never; needs -churn)")
 		verbose  = flag.Bool("v", false, "print per-peer connections")
 	)
 	flag.Parse()
@@ -156,12 +160,26 @@ func main() {
 	if fseed == 0 {
 		fseed = *seed ^ 0x5fa715ca11edc0de
 	}
+	churnSpec, err := dynamic.ParseChurnSpec(*churnStr)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *repairK < 0 || *shedD < 0 {
+		fail("-repair-rounds and -shed-depth must be non-negative")
+	}
+	if churnSpec.IsZero() && (*repairK > 0 || *shedD > 0) {
+		fail("-repair-rounds and -shed-depth configure the churn engine; they need -churn")
+	}
+	if !churnSpec.IsZero() && (!spec.IsZero() || *reliab || det.Enabled()) {
+		fail("-churn runs the incremental repair engine, not the distributed sim; it is incompatible with -faults/-reliable/-detector")
+	}
 	opts := reportOpts{seed: *seed, runtime: *runtime_, jitter: *jitter,
 		verbose: *verbose, dotPath: *dotOut, tracePath: *traceOut, traceFormat: *traceFmt,
 		spansPath: *spansOut, spansFormat: *spansFmt, probeInterval: *probeInt,
 		showMetrics: *metOut, metricsFormat: *metFmt,
 		faults: spec, faultsSeed: fseed, reliable: *reliab, rto: *rto,
-		adaptiveRTO: *adaptRTO, det: det, workers: *workers}
+		adaptiveRTO: *adaptRTO, det: det, workers: *workers,
+		churn: churnSpec, repairRounds: *repairK, shedDepth: *shedD}
 	switch *traceFmt {
 	case "log", "ndjson":
 	default:
@@ -267,6 +285,9 @@ type reportOpts struct {
 	adaptiveRTO   bool
 	det           detector.Config
 	workers       int
+	churn         dynamic.ChurnSpec
+	repairRounds  int
+	shedDepth     int
 }
 
 // policy returns the run's fault-injection policy (nil when -faults is
@@ -338,6 +359,10 @@ func runWorkloadFile(path string, opts reportOpts) {
 
 // runAndReport executes the selected runtime and prints the report.
 func runAndReport(sys *pref.System, opts reportOpts) {
+	if !opts.churn.IsZero() {
+		runChurnReport(sys, opts)
+		return
+	}
 	seed, runtime_, jitter, verbose := opts.seed, opts.runtime, opts.jitter, opts.verbose
 	g := sys.Graph()
 	tbl := satisfaction.NewTableParallel(sys, opts.workers)

@@ -1,6 +1,8 @@
 package dynamic
 
 import (
+	"fmt"
+
 	"overlaymatch/internal/graph"
 	"overlaymatch/internal/rng"
 )
@@ -28,24 +30,48 @@ type ChurnRecord struct {
 // ChurnOptions configures a churn run.
 type ChurnOptions struct {
 	Events      int
-	LeaveProb   float64 // probability an event is a leave (when both possible)
-	MinAlive    int     // leaves are suppressed below this population
+	LeaveProb   float64 // probability an event is a leave (0 = default 0.5)
+	MinAlive    int     // leaves are suppressed below this population (0/1 = default 2)
 	Seed        uint64
 	SkipQuality bool // skip per-event LiveLIC (O(m log m)) for large sweeps
+}
+
+// Validate rejects option combinations that would previously run but
+// silently misbehave: a probability outside [0,1], a floor the
+// population can never satisfy, or an empty run. The zero values of
+// LeaveProb and MinAlive keep their documented defaults. n is the
+// universe size of the overlay the options will drive.
+func (opts ChurnOptions) Validate(n int) error {
+	if opts.Events <= 0 {
+		return fmt.Errorf("dynamic: ChurnOptions.Events %d must be positive", opts.Events)
+	}
+	if opts.LeaveProb < 0 || opts.LeaveProb > 1 {
+		return fmt.Errorf("dynamic: ChurnOptions.LeaveProb %v outside [0,1]", opts.LeaveProb)
+	}
+	if opts.MinAlive < 0 {
+		return fmt.Errorf("dynamic: ChurnOptions.MinAlive %d negative", opts.MinAlive)
+	}
+	if opts.MinAlive >= n {
+		return fmt.Errorf("dynamic: ChurnOptions.MinAlive %d must be < n=%d", opts.MinAlive, n)
+	}
+	return nil
 }
 
 // RunChurn drives `Events` random leave/join events through the
 // overlay, recording repair cost and quality after each. The event
 // stream is deterministic for a given seed.
 func RunChurn(o *Overlay, opts ChurnOptions) ([]ChurnRecord, error) {
+	n := o.s.Graph().NumNodes()
+	if err := opts.Validate(n); err != nil {
+		return nil, err
+	}
 	src := rng.New(opts.Seed)
-	if opts.LeaveProb <= 0 {
+	if opts.LeaveProb == 0 {
 		opts.LeaveProb = 0.5
 	}
 	if opts.MinAlive < 2 {
 		opts.MinAlive = 2
 	}
-	n := o.s.Graph().NumNodes()
 	records := make([]ChurnRecord, 0, opts.Events)
 	for ev := 0; ev < opts.Events; ev++ {
 		var alive, dead []graph.NodeID

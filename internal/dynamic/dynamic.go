@@ -242,6 +242,15 @@ func (o *Overlay) repair(seeds []graph.NodeID, st *EventStats) {
 		if !ok {
 			continue
 		}
+		if swapHook != nil {
+			dk := make([]satisfaction.WeightKey, 0, len(drops))
+			for _, d := range drops {
+				if o.m.Has(d.U, d.V) {
+					dk = append(dk, o.tbl.Key(d.U, d.V))
+				}
+			}
+			swapHook(k, dk)
+		}
 		for _, d := range drops {
 			if o.m.Has(d.U, d.V) { // both endpoints full with the same lightest edge
 				o.m.Remove(d.U, d.V)

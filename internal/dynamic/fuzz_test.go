@@ -1,0 +1,49 @@
+package dynamic
+
+import "testing"
+
+// FuzzChurnSpecParse mirrors the other grammar fuzzers: anything
+// ParseChurnSpec accepts must validate, render to a canonical string
+// that re-parses to the identical spec, and keep that canonical form
+// stable — and neither parse nor render may panic on any input.
+func FuzzChurnSpecParse(f *testing.F) {
+	f.Add("")
+	f.Add("off")
+	f.Add("events=100")
+	f.Add("events=200,leave=0.5,minalive=8,rate=2")
+	f.Add("events=1,leave=0,minalive=0,rate=1e-3")
+	f.Add("events=10,leave=1")
+	f.Add("leave=0.5")
+	f.Add("events=0")
+	f.Add("events=-4")
+	f.Add("events=10,leave=1.5")
+	f.Add("events=10,leave=NaN")
+	f.Add("events=10,rate=0")
+	f.Add("events=10,rate=1e300")
+	f.Add("events=99999999999")
+	f.Add("events=10,minalive=-2")
+	f.Add("events=10,bogus=1")
+	f.Add("events")
+	f.Add(",,,")
+	f.Add("events=10,events=20")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseChurnSpec(in)
+		if err != nil {
+			return // rejected input is fine; not panicking is the point
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("ParseChurnSpec(%q) accepted an invalid spec: %v", in, verr)
+		}
+		canon := s.String()
+		s2, err := ParseChurnSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", canon, in, err)
+		}
+		if s2 != s {
+			t.Fatalf("round trip of %q changed the spec: %+v -> %+v", in, s, s2)
+		}
+		if s2.String() != canon {
+			t.Fatalf("canonical form unstable: %q -> %q", canon, s2.String())
+		}
+	})
+}

@@ -20,8 +20,8 @@ func quickCfg() Config { return Config{Seed: 12345, Quick: true} }
 
 func TestAllRegistryComplete(t *testing.T) {
 	exps := All()
-	if len(exps) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(exps))
+	if len(exps) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(exps))
 	}
 	for i, e := range exps {
 		want := "E" + strconv.Itoa(i+1)
@@ -360,17 +360,34 @@ func TestE17(t *testing.T) {
 	}
 }
 
+func TestE19(t *testing.T) {
+	tables, err := E19ChurnEngine(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("E19 should produce one table, got %d", len(tables))
+	}
+	// 3 families x (full + truncated sweep {1,2,4} + shed row).
+	if got, want := tables[0].NumRows(), 15; got != want {
+		t.Fatalf("E19 rows = %d, want %d (families x budgets)", got, want)
+	}
+}
+
 func TestE18(t *testing.T) {
 	tables, err := E18Tournament(quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 2 {
-		t.Fatalf("E18 should produce bracket + summary tables, got %d", len(tables))
+	if len(tables) != 3 {
+		t.Fatalf("E18 should produce bracket + summary + faulted tables, got %d", len(tables))
 	}
 	families := workload.Families()
 	if got, want := tables[0].NumRows(), 3*len(families); got != want {
 		t.Fatalf("E18 bracket rows = %d, want %d (3 contenders x %d families)", got, want, len(families))
+	}
+	if got, want := tables[2].NumRows(), 2*len(families); got != want {
+		t.Fatalf("E18 faulted rows = %d, want %d (2 fault-tolerant contenders x %d families)", got, want, len(families))
 	}
 	if got, want := tables[1].NumRows(), len(families); got != want {
 		t.Fatalf("E18 summary rows = %d, want one per family (%d)", got, want)

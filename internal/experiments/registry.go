@@ -38,6 +38,7 @@ func All() []Experiment {
 		{"E16", "Self-healing under crash windows (detector + repair)", E16SelfHealing},
 		{"E17", "Convergence telemetry: rounds vs blocking pairs", E17StabilityCurve},
 		{"E18", "Stability tournament: LID vs Gale-Shapley vs backup placement", E18Tournament},
+		{"E19", "Churn-survival engine: bounded repair under sustained churn", E19ChurnEngine},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idLess(exps[i].ID, exps[j].ID) })
 	return exps

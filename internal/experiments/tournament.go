@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"overlaymatch/internal/faults"
 	"overlaymatch/internal/obs"
 	"overlaymatch/internal/stats"
 	"overlaymatch/internal/tournament"
@@ -43,6 +44,16 @@ var e18Workers = []int{1, 2, 4}
 //     {1, 2, 4} and the instance derivation is spec-keyed, so the
 //     bracket a CLI replay of any single spec produces agrees with the
 //     suite's cell.
+//
+// A second, faulted axis reruns the bracket under a seeded pair of
+// healing crash windows with the reliable transport stacked beneath
+// every contender. Only the fault-tolerant contenders enter
+// (tournament.FaultTolerantAlgorithms — Gale–Shapley's FSM needs
+// per-link FIFO delivery, which retransmission violates); the gates
+// weaken accordingly: every cell must still be valid with weight
+// fraction in [0, 1], and LID must re-stabilize completely (weight
+// fraction 1, zero blocking pairs) on the non-adversarial families
+// once the windows heal. Worker byte-identity holds here too.
 func E18Tournament(cfg Config) ([]*stats.Table, error) {
 	n := cfg.pick(48, 240)
 	specs := workload.DefaultSuite(n)
@@ -124,5 +135,81 @@ func E18Tournament(cfg Config) ([]*stats.Table, error) {
 			fmt.Sprintf("%.4f", frac["lid"]), fmt.Sprintf("%.4f", frac["gs"]), fmt.Sprintf("%.4f", frac["bp"]),
 			fmt.Sprintf("identical x%d", len(e18Workers)))
 	}
-	return []*stats.Table{bracket, summary}, nil
+
+	faulted, err := e18Faulted(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	return []*stats.Table{bracket, summary, faulted}, nil
+}
+
+// e18Faulted runs E18's faulted axis: the fault-tolerant contenders on
+// the same scenario suite under two seeded healing crash windows, with
+// the reliable transport restoring exactly-once delivery. The injector
+// is rebuilt per cell from the same seed, so the adversary's schedule
+// is identical across contenders and worker counts.
+func e18Faulted(cfg Config, specs []workload.Spec) (*stats.Table, error) {
+	n := cfg.pick(48, 240)
+	fs := faults.Spec{Crashes: []faults.Crash{
+		{Start: 3, End: 25, Node: 2},
+		{Start: 10, End: 30, Node: (n - 1) / 2},
+	}}
+	if err := fs.Validate(); err != nil {
+		return nil, fmt.Errorf("E18 faulted: %w", err)
+	}
+	opts := tournament.Options{
+		Seed:          cfg.Seed + 18,
+		ProbeInterval: cfg.ProbeInterval,
+		Faults:        fs,
+		FaultsSeed:    cfg.Seed*77 + 18,
+		Reliable:      true,
+		RTO:           15,
+	}
+
+	var (
+		results  []tournament.ScenarioResult
+		baseline string
+	)
+	for i, workers := range e18Workers {
+		opts.Workers = workers
+		res, err := tournament.RunBracket(specs, tournament.FaultTolerantAlgorithms(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("E18 faulted workers=%d: %w", workers, err)
+		}
+		var cells []tournament.Cell
+		for _, r := range res {
+			cells = append(cells, r.Cells...)
+		}
+		raw, err := json.Marshal(cells)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			results, baseline = res, string(raw)
+		} else if string(raw) != baseline {
+			return nil, fmt.Errorf("E18 faulted: bracket with %d workers differs from %d workers",
+				workers, e18Workers[0])
+		}
+	}
+
+	table := stats.NewTable("E18 faulted bracket: crash windows + reliable transport (fault-tolerant contenders)",
+		"scenario", "alg", "rank", "weight frac", "blocking pairs", "unmatched", "msgs", "bytes", "final t")
+	for _, r := range results {
+		for _, c := range r.Cells {
+			if c.WeightFrac < 0 || c.WeightFrac > 1+1e-9 {
+				return nil, fmt.Errorf("E18 faulted %s/%s: weight fraction %v out of [0,1]",
+					r.Spec, c.Algorithm, c.WeightFrac)
+			}
+			if c.Algorithm == "lid" && !r.Spec.Adversarial() {
+				if c.WeightFrac != 1 || c.BlockingPairs != 0 {
+					return nil, fmt.Errorf("E18 faulted %s: LID ended at weight frac %v with %d blocking pairs — repair must resynchronize after the windows heal",
+						r.Spec, c.WeightFrac, c.BlockingPairs)
+				}
+			}
+			table.AddRowf(c.Scenario, c.Algorithm, c.Rank,
+				fmt.Sprintf("%.4f", c.WeightFrac), c.BlockingPairs, c.Unmatched,
+				c.Msgs, c.Bytes, c.FinalTime)
+		}
+	}
+	return table, nil
 }

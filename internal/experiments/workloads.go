@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"overlaymatch/internal/detector"
+	"overlaymatch/internal/dynamic"
 	"overlaymatch/internal/faults"
 	"overlaymatch/internal/gen"
 	"overlaymatch/internal/graph"
@@ -79,6 +80,17 @@ type Config struct {
 	// stability probes (E17); 0 means 1, one probe per unit-latency
 	// round.
 	ProbeInterval float64
+	// Churn overrides the membership feed of the churn-survival
+	// experiment (E19); the zero spec keeps E19's built-in feed, so
+	// default tables stay byte-identical.
+	Churn dynamic.ChurnSpec
+	// RepairRounds, when positive, replaces E19's truncated-budget
+	// sweep {1, 2, 4} with the single budget k = RepairRounds. 0 keeps
+	// the sweep.
+	RepairRounds int
+	// ShedDepth overrides the shedding threshold of E19's overload
+	// row; 0 keeps the built-in depth of 2.
+	ShedDepth int
 }
 
 // probeInterval resolves the stability-probe spacing.

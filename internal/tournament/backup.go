@@ -119,10 +119,14 @@ func (BackupPlacement) Run(s *pref.System, tbl *satisfaction.Table, opts Options
 	prober := obs.NewProber(opts.Registry, opts.interval(), g.NumEdges(), opts.OptWeight, sampler)
 	runner = simnet.NewRunner(g.NumNodes(), simnet.Options{
 		Seed:          opts.Seed,
+		Policy:        opts.policy(),
 		Probe:         prober.Probe,
 		ProbeInterval: opts.interval(),
 	})
-	stats, err := runner.Run(handlers)
+	// One round has no replacement waves to resynchronize, so the
+	// reliable wrap simply re-delivers proposals a crash window ate —
+	// the mutual-proposal rule is unaffected by reordering.
+	stats, err := runner.Run(opts.wrapReliable(handlers))
 	if err != nil {
 		return Outcome{Stats: stats, Prober: prober}, err
 	}

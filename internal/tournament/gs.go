@@ -420,8 +420,17 @@ func buildGSMatching(nodes []*gsNode) (*matching.Matching, error) {
 // Run implements Algorithm. The latency model is pinned to unit
 // latency: the FSM's crossing rules (stale answers overtaking drops,
 // breaks before re-proposals) assume per-link FIFO delivery, which
-// the unit-latency event order guarantees.
+// the unit-latency event order guarantees. That assumption is also
+// why GS declines faulted cells: the reliable transport restores
+// exactly-once delivery after a crash window but retransmission can
+// reorder a link's frames, and a reordered PROP/ANSWER pair drives
+// the FSM into states its crossing rules never anticipate (observed
+// as a PROP arriving at an already-engaged position). The faulted
+// bracket therefore runs FaultTolerantAlgorithms.
 func (GaleShapley) Run(s *pref.System, tbl *satisfaction.Table, opts Options) (Outcome, error) {
+	if opts.faulted() {
+		return Outcome{}, fmt.Errorf("tournament: gs requires per-link FIFO delivery and cannot run under faults or the reliable transport")
+	}
 	g := s.Graph()
 	nodes := make([]*gsNode, g.NumNodes())
 	handlers := make([]simnet.Handler, len(nodes))

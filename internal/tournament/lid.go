@@ -2,6 +2,7 @@ package tournament
 
 import (
 	"overlaymatch/internal/lid"
+	"overlaymatch/internal/obs"
 	"overlaymatch/internal/pref"
 	"overlaymatch/internal/satisfaction"
 	"overlaymatch/internal/simnet"
@@ -18,6 +19,32 @@ func (LID) Name() string { return "lid" }
 
 // Run implements Algorithm.
 func (LID) Run(s *pref.System, tbl *satisfaction.Table, opts Options) (Outcome, error) {
-	res, prober, err := lid.RunEventProbed(s, tbl, simnet.Options{Seed: opts.Seed}, opts.interval(), opts.Registry)
-	return Outcome{Matching: res.Matching, Stats: res.Stats, Prober: prober}, err
+	if !opts.faulted() {
+		res, prober, err := lid.RunEventProbed(s, tbl, simnet.Options{Seed: opts.Seed}, opts.interval(), opts.Registry)
+		return Outcome{Matching: res.Matching, Stats: res.Stats, Prober: prober}, err
+	}
+	// Faulted cell: the RunEventProbed wiring laid out by hand so the
+	// injector slots in as the link policy and the handlers can be
+	// wrapped in the reliable transport (a crash window drops every
+	// frame in flight; bare LID would wedge on the loss).
+	g := s.Graph()
+	nodes := lid.NewNodes(s, tbl)
+	var runner *simnet.Runner
+	sampler := lid.StabilitySampler(s, tbl, nodes, func() (int64, int64) {
+		return runner.SentTotals()
+	})
+	prober := obs.NewProber(opts.Registry, opts.interval(), g.NumEdges(), opts.OptWeight, sampler)
+	runner = simnet.NewRunner(g.NumNodes(), simnet.Options{
+		Seed:          opts.Seed,
+		Policy:        opts.policy(),
+		Probe:         prober.Probe,
+		ProbeInterval: opts.interval(),
+	})
+	stats, err := runner.Run(opts.wrapReliable(lid.Handlers(nodes)))
+	if err != nil {
+		return Outcome{Stats: stats, Prober: prober}, err
+	}
+	prober.PublishSummary(opts.Registry, nil)
+	m, err := lid.BuildMatching(nodes)
+	return Outcome{Matching: m, Stats: stats, Prober: prober}, err
 }

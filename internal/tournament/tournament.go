@@ -23,10 +23,12 @@ import (
 	"fmt"
 	"sort"
 
+	"overlaymatch/internal/faults"
 	"overlaymatch/internal/matching"
 	"overlaymatch/internal/metrics"
 	"overlaymatch/internal/obs"
 	"overlaymatch/internal/pref"
+	"overlaymatch/internal/reliable"
 	"overlaymatch/internal/satisfaction"
 	"overlaymatch/internal/simnet"
 	"overlaymatch/internal/workload"
@@ -44,6 +46,20 @@ type Options struct {
 	// ProbeInterval is the virtual-time spacing of the stability
 	// probes; 0 means 1 (one probe per unit-latency round).
 	ProbeInterval float64
+
+	// Faults, when non-zero, is the link-level adversary every cell
+	// runs under (crash windows, drops, ...); FaultsSeed seeds the
+	// injection stream. Each cell gets its own injector, so the
+	// adversary's coin flips are identical across contenders.
+	Faults     faults.Spec
+	FaultsSeed uint64
+	// Reliable wraps each contender's handlers in the ack/retransmit
+	// transport — required whenever Faults can lose messages (a
+	// healing crash window still drops everything in flight). RTO is
+	// the transport's base timeout (0 = 20), with adaptive RFC-6298
+	// estimation on top.
+	Reliable bool
+	RTO      float64
 
 	// Registry and OptWeight are filled by RunCell before handing the
 	// options to Algorithm.Run: the per-cell metrics registry the
@@ -66,6 +82,36 @@ func (o Options) workers() int {
 	}
 	return 1
 }
+
+// policy builds a fresh per-cell fault injector (nil when no faults
+// are configured, leaving the zero-spec path byte-identical).
+func (o Options) policy() simnet.LinkPolicy {
+	if o.Faults.IsZero() {
+		return nil
+	}
+	return faults.NewInjector(o.Faults, o.FaultsSeed)
+}
+
+func (o Options) rto() float64 {
+	if o.RTO > 0 {
+		return o.RTO
+	}
+	return 20
+}
+
+// wrapReliable stacks the ack/retransmit transport under a contender's
+// handlers when the options ask for it.
+func (o Options) wrapReliable(handlers []simnet.Handler) []simnet.Handler {
+	if !o.Reliable {
+		return handlers
+	}
+	eps := reliable.WrapConfig(handlers, reliable.Config{RTO: o.rto(), Adaptive: true})
+	return reliable.Handlers(eps)
+}
+
+// faulted reports whether this cell deviates from the clean bracket
+// configuration.
+func (o Options) faulted() bool { return !o.Faults.IsZero() || o.Reliable }
 
 // Outcome is what one contender returns: its matching plus the run's
 // accounting.
@@ -93,22 +139,32 @@ func DefaultAlgorithms() []Algorithm {
 	return []Algorithm{LID{}, GaleShapley{}, BackupPlacement{}}
 }
 
+// FaultTolerantAlgorithms returns the contenders that survive the
+// faulted axis: LID (whose replacement waves are idempotent under the
+// reliable transport's at-least-once retransmission) and backup
+// placement (one round, order-insensitive). Gale–Shapley is excluded —
+// its FSM's crossing rules require per-link FIFO delivery, which
+// retransmission after a crash window does not preserve.
+func FaultTolerantAlgorithms() []Algorithm {
+	return []Algorithm{LID{}, BackupPlacement{}}
+}
+
 // Cell is one scored (scenario, algorithm) bracket entry.
 type Cell struct {
-	Scenario  string             `json:"scenario"`
-	Spec      string             `json:"spec"`
-	Algorithm string             `json:"algorithm"`
-	Seed      uint64             `json:"seed"`
-	N         int                `json:"n"`
-	Edges     int                `json:"edges"`
-	Rank      int                `json:"rank"`
+	Scenario  string `json:"scenario"`
+	Spec      string `json:"spec"`
+	Algorithm string `json:"algorithm"`
+	Seed      uint64 `json:"seed"`
+	N         int    `json:"n"`
+	Edges     int    `json:"edges"`
+	Rank      int    `json:"rank"`
 	// WeightFrac is MatchedWeight / LICWeight (1 when both are 0).
-	WeightFrac    float64            `json:"weight_frac"`
-	MatchedWeight float64            `json:"matched_weight"`
-	LICWeight     float64            `json:"lic_weight"`
-	Matched       int                `json:"matched_edges"`
-	BlockingPairs int                `json:"blocking_pairs"`
-	Unmatched     int                `json:"unmatched_nodes"`
+	WeightFrac    float64 `json:"weight_frac"`
+	MatchedWeight float64 `json:"matched_weight"`
+	LICWeight     float64 `json:"lic_weight"`
+	Matched       int     `json:"matched_edges"`
+	BlockingPairs int     `json:"blocking_pairs"`
+	Unmatched     int     `json:"unmatched_nodes"`
 	// RoundsToEps maps obs.EpsKey(ε) to the first probe time with
 	// blocking pairs ≤ ε·|E| (-1 = never), for the obs.Epsilons ladder.
 	RoundsToEps map[string]float64 `json:"rounds_to_eps"`
