@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short race race-core registry-coverage golden-check vet fuzz fuzz-smoke bench bench-json bench-check experiments examples cover clean
+.PHONY: all build check test test-short race race-core registry-coverage golden-check loopback-check vet fuzz fuzz-smoke bench bench-json bench-check experiments examples cover clean
 
 all: build vet test
 
@@ -13,15 +13,16 @@ all: build vet test
 # experiment-registry coverage sweep, a short fuzz pass over the
 # parsers, the golden-output regeneration diff (possible since the
 # golden file is timing-free; any drift in any experiment fails here),
-# and the benchmark regression gate.
-check: build vet test race-core registry-coverage fuzz-smoke golden-check bench-check
+# the benchmark regression gate, and the real-socket loopback
+# conformance run.
+check: build vet test race-core registry-coverage fuzz-smoke golden-check bench-check loopback-check
 
 # Vet first so a broken build fails fast instead of surfacing as a
 # confusing mid-run race failure. The dense-core packages (graph, pref,
 # satisfaction, matching, lid) are included: they share read-only CSR
 # slices across goroutines, which the race detector must keep honest.
 race-core: vet
-	$(GO) test -race -short ./internal/par/... ./internal/metrics/... ./internal/simnet/... ./internal/faults/... ./internal/detector/... ./internal/reliable/... ./internal/graph/... ./internal/pref/... ./internal/satisfaction/... ./internal/matching/... ./internal/lid/... ./internal/obs/... ./internal/workload/... ./internal/tournament/... ./internal/dynamic/...
+	$(GO) test -race -short ./internal/par/... ./internal/metrics/... ./internal/simnet/... ./internal/faults/... ./internal/detector/... ./internal/reliable/... ./internal/graph/... ./internal/pref/... ./internal/satisfaction/... ./internal/matching/... ./internal/lid/... ./internal/obs/... ./internal/workload/... ./internal/tournament/... ./internal/dynamic/... ./internal/transport/...
 
 # Every registered experiment must still run under quick parameters —
 # catches experiments silently falling out of the registry.
@@ -55,6 +56,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzDetectorConfigParse -fuzztime 30s ./internal/detector
 	$(GO) test -fuzz FuzzWorkloadSpecParse -fuzztime 30s ./internal/workload
 	$(GO) test -fuzz FuzzChurnSpecParse -fuzztime 30s ./internal/dynamic
+	$(GO) test -fuzz FuzzFrameDecode -fuzztime 30s ./internal/transport
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -87,6 +89,14 @@ golden-check:
 	$(GO) run ./cmd/experiments -run all -seed 1 -out .experiments_regen.txt
 	diff -u experiments_full.txt .experiments_regen.txt
 	rm -f .experiments_regen.txt
+
+# Real-socket conformance: a seeded workload runs once on the
+# deterministic event simulator and once on a loopback UDP cluster
+# (internal/transport) with the full reliable/detector stack; the
+# matching must be the same LIC either way. This is the gate that keeps
+# the wire layer honest against the simulator the experiments certify.
+loopback-check:
+	$(GO) test -count=1 -run 'TestLoopbackClusterLIC|TestClusterCoalescing' ./internal/transport
 
 # Regenerate the validation suite (EXPERIMENTS.md's source of truth).
 experiments:

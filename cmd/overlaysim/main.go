@@ -35,6 +35,7 @@ import (
 	"overlaymatch/internal/simnet"
 	"overlaymatch/internal/stats"
 	"overlaymatch/internal/trace"
+	"overlaymatch/internal/transport"
 )
 
 func main() {
@@ -50,7 +51,7 @@ func main() {
 		quota    = flag.Int("b", 3, "connection quota per peer")
 		metric   = flag.String("metric", "random", "random | symmetric | distance | resource | transactions")
 		seed     = flag.Uint64("seed", 1, "seed for topology, preferences and latencies")
-		runtime_ = flag.String("runtime", "event", "event | goroutine | centralized")
+		runtime_ = flag.String("runtime", "event", "event | goroutine | centralized | udp (loopback real-socket cluster; needs -reliable)")
 		jitter   = flag.Float64("jitter", 3, "latency jitter scale (event runtime)")
 		workload = flag.String("workload", "", "load a frozen workload JSON (see graphgen -format workload) instead of generating")
 		dotOut   = flag.String("dot", "", "write the final overlay as Graphviz DOT to this file")
@@ -141,6 +142,21 @@ func main() {
 	}
 	if *runtime_ == "centralized" && (!spec.IsZero() || *reliab || det.Enabled()) {
 		fail("-faults/-reliable/-detector require a distributed runtime (event or goroutine)")
+	}
+	if *runtime_ == "udp" {
+		// The loopback cluster is a real lossy wire: the simulator-side
+		// conveniences (omniscient tracing, fault policies, probes) have
+		// no hook there, and bare LID would wedge on the first lost
+		// datagram.
+		if !*reliab {
+			fail("-runtime udp rides a real datagram socket and needs -reliable")
+		}
+		if !spec.IsZero() {
+			fail("-faults injects at the simulator boundary; -runtime udp has no such hook")
+		}
+		if *traceOut != "" || *spansOut != "" {
+			fail("-tracelog/-trace-spans need a simulated runtime (event or goroutine)")
+		}
 	}
 	if *probeInt < 0 {
 		fail("-probe-interval must be non-negative")
@@ -543,6 +559,39 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 		fmt.Printf("distributed run (goroutines): %v\n", time.Since(start))
 		fmt.Printf("  messages: %d total (%d PROP, %d REJ)\n",
 			st.TotalSent(), st.SentByKind["PROP"], st.SentByKind["REJ"])
+		reportFaults(st)
+	case "udp":
+		// Real loopback sockets via internal/transport: the same wrapped
+		// stack, with every message crossing the kernel as coalesced UDP
+		// datagrams instead of simulator deliveries.
+		nodes := lid.NewNodes(sys, tbl)
+		cluster, err := transport.NewLoopbackCluster(g.NumNodes(), transport.ClusterConfig{})
+		if err != nil {
+			fail("run: %v", err)
+		}
+		st, err := cluster.Run(wrap(lid.Handlers(nodes)))
+		if err != nil {
+			fail("run: %v", err)
+		}
+		m, err := lid.BuildMatching(nodes)
+		if err != nil {
+			fail("run: %v", err)
+		}
+		result = m
+		var datagrams, bytesOut int64
+		for _, nd := range cluster.Nodes() {
+			c := nd.Counters()
+			datagrams += c.DatagramsSent
+			bytesOut += c.BytesSent
+			if reg != nil {
+				nd.PublishMetrics(reg)
+			}
+		}
+		fmt.Printf("distributed run (udp loopback cluster): %v\n", time.Since(start))
+		fmt.Printf("  messages: %d total (%d PROP, %d REJ)\n",
+			st.TotalSent(), st.SentByKind["PROP"], st.SentByKind["REJ"])
+		fmt.Printf("  wire: %d frames coalesced into %d datagrams, %d bytes, %d dropped\n",
+			st.TotalSent(), datagrams, bytesOut, st.Dropped)
 		reportFaults(st)
 	case "centralized":
 		result = matching.LIC(sys, tbl)

@@ -1,0 +1,23 @@
+package dynamic
+
+import (
+	"testing"
+
+	"overlaymatch/internal/dlid"
+	"overlaymatch/internal/transport"
+)
+
+// The churn engine is centralized — it has no simnet messages of its
+// own. What crosses a wire in a deployment is its membership feed:
+// leave/join events, which map one-to-one onto dlid's environment
+// commands. This test pins that mapping to the codec registry so a
+// remote churn driver can always speak the events over the transport
+// layer.
+func TestChurnFeedEventsHaveCodecs(t *testing.T) {
+	if id, _, ok := transport.CodecFor(dlid.CmdLeave{}); !ok || id != transport.IDDlidCmdLeave {
+		t.Fatalf("dlid.CmdLeave codec = (%#04x, %v), want (%#04x, true)", id, ok, transport.IDDlidCmdLeave)
+	}
+	if id, _, ok := transport.CodecFor(dlid.CmdJoin{}); !ok || id != transport.IDDlidCmdJoin {
+		t.Fatalf("dlid.CmdJoin codec = (%#04x, %v), want (%#04x, true)", id, ok, transport.IDDlidCmdJoin)
+	}
+}

@@ -1,0 +1,202 @@
+package transport_test
+
+// The generic wire-codec suite. It lives in an external test package so
+// it can import every protocol package for the side effect of its
+// wire.go registration — exactly how a deployment binary acquires its
+// codec table — while package transport itself stays below the
+// protocols in the import order.
+
+import (
+	"bytes"
+	"testing"
+
+	_ "overlaymatch/internal/detector"
+	_ "overlaymatch/internal/dlid"
+	_ "overlaymatch/internal/phased"
+	_ "overlaymatch/internal/reliable"
+	"overlaymatch/internal/rng"
+	"overlaymatch/internal/simnet"
+	"overlaymatch/internal/transport"
+
+	_ "overlaymatch/internal/lid"
+)
+
+// roundTripSeeds is the per-type sample count of the property test.
+const roundTripSeeds = 200
+
+// TestRegistryCoversProtocolStack pins the registered ID set: every
+// wire message of every protocol package must be present, so silently
+// dropping a wire.go registration (or its import) fails here rather
+// than at the first socket run.
+func TestRegistryCoversProtocolStack(t *testing.T) {
+	want := []uint16{
+		transport.IDRaw,
+		transport.IDLIDMsg,
+		transport.IDPhasedMsg,
+		transport.IDDlidMsg,
+		transport.IDDlidCmdLeave,
+		transport.IDDlidCmdJoin,
+		transport.IDReliableData,
+		transport.IDReliableAck,
+		transport.IDDetectorHB,
+		transport.IDDetectorHBAck,
+	}
+	got := transport.RegisteredIDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d codecs, want %d (%#04x)", len(got), len(want), got)
+	}
+	for i, id := range want {
+		if got[i] != id {
+			t.Fatalf("RegisteredIDs()[%d] = %#04x, want %#04x", i, got[i], id)
+		}
+	}
+}
+
+// TestRoundTripProperty is the satellite property test: for every
+// registered type, encode -> decode -> encode must be byte-identical
+// across roundTripSeeds sampled instances. Byte-identity of the
+// second encoding (rather than value equality of the messages) is the
+// stronger claim: it proves the decoder is exact and the encoding
+// canonical, which is what FuzzFrameDecode's accept-implies-canonical
+// invariant rests on.
+func TestRoundTripProperty(t *testing.T) {
+	for _, id := range transport.RegisteredIDs() {
+		c, ok := transport.CodecByID(id)
+		if !ok {
+			t.Fatalf("CodecByID(%#04x) missing after RegisteredIDs listed it", id)
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			src := rng.New(0xF4A7C15 ^ uint64(id))
+			for i := 0; i < roundTripSeeds; i++ {
+				msg := c.Sample(src)
+				first, err := transport.EncodeFrame(msg)
+				if err != nil {
+					t.Fatalf("sample %d: encode: %v", i, err)
+				}
+				decoded, consumed, err := transport.DecodeFrame(first)
+				if err != nil {
+					t.Fatalf("sample %d: decode: %v", i, err)
+				}
+				if consumed != len(first) {
+					t.Fatalf("sample %d: decode consumed %d of %d bytes", i, consumed, len(first))
+				}
+				second, err := transport.EncodeFrame(decoded)
+				if err != nil {
+					t.Fatalf("sample %d: re-encode: %v", i, err)
+				}
+				if !bytes.Equal(first, second) {
+					t.Fatalf("sample %d: round trip not byte-identical\n first: %x\nsecond: %x", i, first, second)
+				}
+			}
+		})
+	}
+}
+
+// TestFrameHeader checks the documented layout directly on one frame:
+// big-endian length covering version+ID+payload, then version, then ID.
+func TestFrameHeader(t *testing.T) {
+	frame, err := transport.EncodeFrame(transport.Raw("abc"))
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	want := []byte{0, 0, 0, 6, 1, 0, 1, 'a', 'b', 'c'}
+	if !bytes.Equal(frame, want) {
+		t.Fatalf("frame = %x, want %x", frame, want)
+	}
+}
+
+// TestFrameConcatenation streams one sample of every registered type
+// into a single buffer and decodes them back in order — the coalesced
+// datagram body in miniature.
+func TestFrameConcatenation(t *testing.T) {
+	src := rng.New(7)
+	var buf []byte
+	var frames [][]byte
+	for _, id := range transport.RegisteredIDs() {
+		c, _ := transport.CodecByID(id)
+		msg := c.Sample(src)
+		single, err := transport.EncodeFrame(msg)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", c.Name, err)
+		}
+		frames = append(frames, single)
+		if buf, err = transport.AppendFrame(buf, msg); err != nil {
+			t.Fatalf("%s: append: %v", c.Name, err)
+		}
+	}
+	rest := buf
+	for i, want := range frames {
+		msg, consumed, err := transport.DecodeFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: decode: %v", i, err)
+		}
+		re, err := transport.EncodeFrame(msg)
+		if err != nil {
+			t.Fatalf("frame %d: re-encode: %v", i, err)
+		}
+		if !bytes.Equal(re, want) {
+			t.Fatalf("frame %d decoded to %x, want %x", i, re, want)
+		}
+		rest = rest[consumed:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after decoding every frame", len(rest))
+	}
+}
+
+// TestDecodeStrictness enumerates the malformed-input classes the
+// decoder must reject.
+func TestDecodeStrictness(t *testing.T) {
+	good, err := transport.EncodeFrame(transport.Raw("payload"))
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short header", good[:6]},
+		{"truncated payload", good[:len(good)-2]},
+		{"length below header minimum", []byte{0, 0, 0, 2, 1, 0, 1}},
+		{"length above MaxFrame", []byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 0, 1}},
+		{"unknown type ID", []byte{0, 0, 0, 3, 1, 0xEE, 0xEE}},
+		{"wrong codec version", []byte{0, 0, 0, 3, 99, 0, 1}},
+		{"non-canonical lid opcode", []byte{0, 0, 0, 4, 1, 1, 1, 7}},
+		{"lid payload too long", []byte{0, 0, 0, 5, 1, 1, 1, 1, 1}},
+	}
+	for _, tc := range cases {
+		if _, _, err := transport.DecodeFrame(tc.data); err == nil {
+			t.Errorf("%s: decode accepted %x", tc.name, tc.data)
+		}
+	}
+}
+
+// unregistered is a message type deliberately missing from the registry.
+type unregistered struct{}
+
+func (unregistered) Kind() string { return "NOPE" }
+
+func TestUnregisteredTypeFails(t *testing.T) {
+	var msg simnet.Message = unregistered{}
+	if _, err := transport.EncodeFrame(msg); err == nil {
+		t.Fatal("EncodeFrame accepted an unregistered type")
+	}
+	if _, err := transport.AppendFrame(nil, msg); err == nil {
+		t.Fatal("AppendFrame accepted an unregistered type")
+	}
+}
+
+// TestCodecForAgreesWithRegistry ties the type-directed lookup to the
+// ID-directed one.
+func TestCodecForAgreesWithRegistry(t *testing.T) {
+	src := rng.New(11)
+	for _, id := range transport.RegisteredIDs() {
+		c, _ := transport.CodecByID(id)
+		gotID, gotC, ok := transport.CodecFor(c.Sample(src))
+		if !ok || gotID != id || gotC.Name != c.Name {
+			t.Fatalf("CodecFor(%s sample) = (%#04x, %q, %v), want (%#04x, %q, true)",
+				c.Name, gotID, gotC.Name, ok, id, c.Name)
+		}
+	}
+}
