@@ -57,29 +57,33 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzWorkloadSpecParse -fuzztime 30s ./internal/workload
 	$(GO) test -fuzz FuzzChurnSpecParse -fuzztime 30s ./internal/dynamic
 	$(GO) test -fuzz FuzzFrameDecode -fuzztime 30s ./internal/transport
+	$(GO) test -fuzz FuzzSchedulerSpecParse -fuzztime 30s ./internal/lid
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Deterministic machine-readable benchmark trajectory: fixed seeds and
-# iteration counts. PR8 adds the churn-engine rows (a fixed membership
-# feed drained at full, truncated, and shedding budgets); the *Par
-# benchmarks sweep worker counts 1/2/4 (the workload columns must be
-# identical at each count); BENCH_PR4.json through BENCH_PR7.json stay
-# committed as the previous points of the trajectory.
+# iteration counts. PR10 adds the scheduler rows (the same LID workload
+# under canonical and greedy admission — the message-count delta is the
+# scheduler's payoff); the *Par benchmarks sweep worker counts 1/2/4
+# (the workload columns must be identical at each count); BENCH_PR4.json
+# through BENCH_PR8.json stay committed as the previous points of the
+# trajectory.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR8.json -phase after -merge -workers-sweep 1,2,4
+	$(GO) run ./cmd/benchjson -out BENCH_PR10.json -phase after -merge -workers-sweep 1,2,4
 
 # Benchmark regression gate: fresh -quick measurements must stay within
-# tolerance of the committed PR7 baseline (allocation figures gated,
-# workload metrics exact, wall clock report-only; rows new in PR8 are
-# notes, not failures), and — the negative control — must FAIL against
-# a synthetically regressed fixture, so a broken gate cannot pass
-# silently.
+# tolerance of the committed PR8 baseline (allocation figures gated,
+# workload metrics exact, wall clock report-only; rows new in PR10 are
+# notes, not failures), and — the negative controls — must FAIL against
+# a synthetically regressed fixture and against a baseline that mixes
+# workers=0 rows with explicit worker counts in one family (the PR 10
+# matchBaseline fallback bug), so a broken gate cannot pass silently.
 bench-check:
 	$(GO) test -count=1 ./cmd/benchjson
-	$(GO) run ./cmd/benchjson -quick -compare BENCH_PR7.json
+	$(GO) run ./cmd/benchjson -quick -compare BENCH_PR8.json
 	! $(GO) run ./cmd/benchjson -quick -compare cmd/benchjson/testdata/regressed_baseline.json
+	! $(GO) run ./cmd/benchjson -quick -compare cmd/benchjson/testdata/mixed_workers_baseline.json
 
 # The golden experiments file must regenerate to the exact committed
 # bytes: wall-clock columns now live in the manifest/metrics sink, so

@@ -96,24 +96,49 @@ func compareRows(baseline, fresh []Row, tolPct, nsTolPct float64) (failures, not
 	return failures, notes
 }
 
+// famKey identifies a row family — a benchmark shape independent of
+// the worker-sweep point.
+type famKey struct {
+	Name  string
+	N     int
+	Phase string
+}
+
 // matchBaseline rewrites fresh rows' lookup keys for pre-sweep
-// baselines: when the baseline has no row at the fresh row's worker
-// count but has one at workers=0 (the column did not exist yet), the
-// swept row is gated against that row.
-func matchBaseline(baseline, fresh []Row) []Row {
-	has := make(map[rowKey]bool, len(baseline))
+// baselines: when a (name, n, phase) family predates the worker-sweep
+// column — the baseline carries only workers=0 rows for it — fresh
+// swept rows gate against the workers=0 row. A family whose baseline
+// carries explicit worker counts keeps exact matching: a sweep row
+// for a worker count the baseline never measured must surface as an
+// unmatched note, never silently gate against another count's
+// figures. A baseline family mixing workers=0 with explicit counts is
+// ambiguous (hand-edited, or merged across sweep eras) and is
+// rejected outright rather than guessed at.
+func matchBaseline(baseline, fresh []Row) ([]Row, error) {
+	zero := make(map[famKey]bool)
+	swept := make(map[famKey]bool)
 	for _, r := range baseline {
-		has[rowKey{r.Name, r.N, r.Phase, r.Workers}] = true
+		fam := famKey{r.Name, r.N, r.Phase}
+		if r.Workers == 0 {
+			zero[fam] = true
+		} else {
+			swept[fam] = true
+		}
+	}
+	for fam := range zero {
+		if swept[fam] {
+			return nil, fmt.Errorf("benchjson: baseline family %s/n=%d mixes workers=0 and explicit worker rows — ambiguous baseline, refusing to guess", fam.Name, fam.N)
+		}
 	}
 	out := make([]Row, len(fresh))
 	for i, r := range fresh {
 		out[i] = r
-		if r.Workers != 0 && !has[rowKey{r.Name, r.N, r.Phase, r.Workers}] &&
-			has[rowKey{r.Name, r.N, r.Phase, 0}] {
+		fam := famKey{r.Name, r.N, r.Phase}
+		if r.Workers != 0 && !swept[fam] && zero[fam] {
 			out[i].Workers = 0
 		}
 	}
-	return out
+	return out, nil
 }
 
 func keyString(k rowKey) string {

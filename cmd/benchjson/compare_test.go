@@ -83,7 +83,10 @@ func TestMatchBaselineWorkersFallback(t *testing.T) {
 		mkRow("LICPar", 1000, 2, 100, 1000, 10, nil),
 		mkRow("LICPar", 1000, 4, 100, 1000, 30, nil), // regressed vs fallback
 	}
-	adj := matchBaseline(base, fresh)
+	adj, err := matchBaseline(base, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, r := range adj {
 		if r.Workers != 0 {
 			t.Fatalf("row %d: expected fallback to workers=0, got %d", i, r.Workers)
@@ -96,9 +99,58 @@ func TestMatchBaselineWorkersFallback(t *testing.T) {
 
 	// A baseline that does carry the swept key must keep the key as-is.
 	base2 := []Row{mkRow("LICPar", 1000, 4, 100, 1000, 10, nil)}
-	adj2 := matchBaseline(base2, []Row{mkRow("LICPar", 1000, 4, 100, 1000, 10, nil)})
+	adj2, err := matchBaseline(base2, []Row{mkRow("LICPar", 1000, 4, 100, 1000, 10, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if adj2[0].Workers != 4 {
 		t.Fatalf("swept baseline present, key must not be rewritten: got workers=%d", adj2[0].Workers)
+	}
+}
+
+func TestMatchBaselineNeverCrossesWorkerCounts(t *testing.T) {
+	// Regression guard: the baseline family carries explicit worker
+	// rows (1 and 2) but not the fresh row's count (8). The old
+	// per-key fallback silently gated w=8 against a stray workers=0
+	// row of another family era; a swept family must instead leave the
+	// unmatched count as an unmatched note.
+	base := []Row{
+		mkRow("LICPar", 1000, 1, 100, 1000, 10, nil),
+		mkRow("LICPar", 1000, 2, 110, 1000, 10, nil),
+	}
+	fresh := []Row{mkRow("LICPar", 1000, 8, 100, 1000, 500, nil)} // would "regress" if cross-matched
+	adj, err := matchBaseline(base, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adj[0].Workers != 8 {
+		t.Fatalf("swept family: fresh w=8 row must keep its key, got workers=%d", adj[0].Workers)
+	}
+	failures, notes := compareRows(base, adj, 25, 0)
+	if len(failures) != 0 {
+		t.Fatalf("a worker count the baseline never measured must not gate, got %v", failures)
+	}
+	joined := strings.Join(notes, "\n")
+	if !strings.Contains(joined, "no baseline") {
+		t.Fatalf("expected an unmatched note for the w=8 row, got %v", notes)
+	}
+}
+
+func TestMatchBaselineRejectsMixedWorkerFamily(t *testing.T) {
+	base := []Row{
+		mkRow("LICPar", 1000, 0, 100, 1000, 10, nil),
+		mkRow("LICPar", 1000, 1, 100, 1000, 10, nil),
+	}
+	if _, err := matchBaseline(base, []Row{mkRow("LICPar", 1000, 2, 100, 1000, 10, nil)}); err == nil {
+		t.Fatal("a baseline family mixing workers=0 and explicit worker rows must be rejected")
+	}
+	// Distinct families may use different eras without conflict.
+	ok := []Row{
+		mkRow("LIC", 1000, 0, 100, 1000, 10, nil),
+		mkRow("LICPar", 1000, 1, 100, 1000, 10, nil),
+	}
+	if _, err := matchBaseline(ok, nil); err != nil {
+		t.Fatalf("different families in different sweep eras must be fine: %v", err)
 	}
 }
 

@@ -2,7 +2,7 @@
 // seeds and fixed iteration counts and writes the results as JSON rows
 // (ns/op, B/op, allocs/op plus headline metrics). It seeds the repo's
 // persisted perf trajectory: `make bench-json` regenerates
-// BENCH_PR8.json, and rows are tagged with a phase ("before"/"after")
+// BENCH_PR10.json, and rows are tagged with a phase ("before"/"after")
 // so a representation change can commit its own measured payoff next
 // to the baseline it replaced.
 //
@@ -34,10 +34,12 @@ import (
 	"overlaymatch/internal/dynamic"
 	"overlaymatch/internal/gen"
 	"overlaymatch/internal/graph"
+	"overlaymatch/internal/lid"
 	"overlaymatch/internal/matching"
 	"overlaymatch/internal/pref"
 	"overlaymatch/internal/rng"
 	"overlaymatch/internal/satisfaction"
+	"overlaymatch/internal/simnet"
 	"overlaymatch/internal/tournament"
 	"overlaymatch/internal/workload"
 )
@@ -276,6 +278,50 @@ func runBenchmarks(phase string, sweep []int, quick bool) []Row {
 		}
 	}
 
+	// The admission scheduler (the PR-10 surface): one LID workload run
+	// canonically and with greedy heaviest-frontier admission. The
+	// workload metrics pin both the outcome (matched/weight — identical
+	// either way, LID ≡ LIC) and the scheduling win itself (msgs,
+	// rounds), so losing the greedy message savings fails the gate as a
+	// deterministic-metrics drift, not a timing delta.
+	schedSizes := []struct{ n, iters int }{
+		{1_000, 5},
+		{4_000, 2},
+	}
+	if quick {
+		schedSizes = schedSizes[:1]
+	}
+	for _, sz := range schedSizes {
+		s := benchSystem(uint64(5000+sz.n), sz.n, 3)
+		tbl := satisfaction.NewTable(s)
+		for _, sched := range []struct {
+			label string
+			spec  lid.SchedulerSpec
+		}{
+			{"LIDCanonical", lid.SchedulerSpec{Kind: lid.SchedCanonical}},
+			{"LIDGreedy", lid.SchedulerSpec{Kind: lid.SchedGreedy}},
+		} {
+			spec := sched.spec
+			run := func() lid.Result {
+				res, err := lid.RunEventScheduled(s, tbl, simnet.Options{Seed: 11}, spec)
+				if err != nil {
+					panic(err)
+				}
+				return res
+			}
+			res := run()
+			met := map[string]float64{
+				"msgs":    float64(res.Stats.TotalSent()),
+				"prop":    float64(res.PropMessages),
+				"rej":     float64(res.RejMessages),
+				"rounds":  res.Stats.FinalTime,
+				"matched": float64(res.Matching.Size()),
+				"weight":  res.Matching.Weight(s),
+			}
+			add(sched.label, sz.n, 0, sz.iters, met, func() { run() })
+		}
+	}
+
 	// The literal Algorithm-2 loop, whose pool handling is the
 	// complexity-class target (O(m²) rescans → O(m·Δ) incremental).
 	literal := []struct{ n, iters int }{
@@ -304,7 +350,7 @@ func runBenchmarks(phase string, sweep []int, quick bool) []Row {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR8.json", "output file")
+	out := flag.String("out", "BENCH_PR10.json", "output file")
 	phase := flag.String("phase", "after", "phase tag for the emitted rows (before|after)")
 	merge := flag.Bool("merge", true, "keep rows of other phases already in the output file")
 	sweepFlag := flag.String("workers-sweep", "8", "comma-separated worker counts for the *Par rows (workload output must be identical at every count)")
@@ -332,7 +378,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *compare, err)
 			os.Exit(2)
 		}
-		failures, notes := compareRows(baseline.Rows, matchBaseline(baseline.Rows, rows), *tolerance, *nsTolerance)
+		adjusted, err := matchBaseline(baseline.Rows, rows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *compare, err)
+			os.Exit(2)
+		}
+		failures, notes := compareRows(baseline.Rows, adjusted, *tolerance, *nsTolerance)
 		for _, n := range notes {
 			fmt.Printf("note: %s\n", n)
 		}

@@ -77,6 +77,7 @@ func main() {
 		churnStr = flag.String("churn", "off", `run the churn-survival engine instead of the distributed sim: "events=200,leave=0.5,minalive=8,rate=2" (see internal/dynamic)`)
 		repairK  = flag.Int("repair-rounds", 0, "truncate each repair epoch after this many cascade rounds (0 = full budget; needs -churn)")
 		shedD    = flag.Int("shed-depth", 0, "shed epochs whose batch exceeds this to one-round backup placement (0 = never; needs -churn)")
+		schedStr = flag.String("scheduler", "canonical", "proposal admission order: canonical | greedy | greedy:batch=N (greedy needs -runtime event; same matching, fewer messages)")
 		verbose  = flag.Bool("v", false, "print per-peer connections")
 	)
 	flag.Parse()
@@ -105,107 +106,41 @@ func main() {
 		}()
 	}
 
-	if *rto <= 0 {
-		fail("-rto must be positive, got %v (the retransmission timer would never fire)", *rto)
-	}
-	if *adaptRTO && !*reliab {
-		fail("-adaptive-rto tunes the retransmission timer and needs -reliable")
-	}
-	if *hbInt < 0 || *phiThr < 0 {
-		fail("-hb-interval and -phi-threshold must be positive")
-	}
-	det, err := detector.Parse(*detStr)
+	cfg, err := validateFlags(cliFlags{
+		runtime:      *runtime_,
+		rto:          *rto,
+		adaptiveRTO:  *adaptRTO,
+		reliable:     *reliab,
+		hbInterval:   *hbInt,
+		phiThreshold: *phiThr,
+		detector:     *detStr,
+		faults:       *faultStr,
+		tracelog:     *traceOut,
+		traceSpans:   *spansOut,
+		spansFormat:  *spansFmt,
+		traceFormat:  *traceFmt,
+		metricsFmt:   *metFmt,
+		probeInt:     *probeInt,
+		churn:        *churnStr,
+		repairRounds: *repairK,
+		shedDepth:    *shedD,
+		scheduler:    *schedStr,
+	})
 	if err != nil {
 		fail("%v", err)
-	}
-	if *hbInt > 0 || *phiThr > 0 {
-		if !det.Enabled() {
-			det = detector.Default()
-		}
-		if *hbInt > 0 {
-			det.Interval = *hbInt
-		}
-		if *phiThr > 0 {
-			det.Phi = *phiThr
-		}
-		if err := det.Validate(); err != nil {
-			fail("%v", err)
-		}
-	}
-
-	spec, err := faults.Parse(*faultStr)
-	if err != nil {
-		fail("%v", err)
-	}
-	if !spec.PreservesDelivery() && !*reliab {
-		fail("-faults %q loses messages; bare LID needs -reliable to survive it", *faultStr)
-	}
-	if *runtime_ == "centralized" && (!spec.IsZero() || *reliab || det.Enabled()) {
-		fail("-faults/-reliable/-detector require a distributed runtime (event or goroutine)")
-	}
-	if *runtime_ == "udp" {
-		// The loopback cluster is a real lossy wire: the simulator-side
-		// conveniences (omniscient tracing, fault policies, probes) have
-		// no hook there, and bare LID would wedge on the first lost
-		// datagram.
-		if !*reliab {
-			fail("-runtime udp rides a real datagram socket and needs -reliable")
-		}
-		if !spec.IsZero() {
-			fail("-faults injects at the simulator boundary; -runtime udp has no such hook")
-		}
-		if *traceOut != "" || *spansOut != "" {
-			fail("-tracelog/-trace-spans need a simulated runtime (event or goroutine)")
-		}
-	}
-	if *probeInt < 0 {
-		fail("-probe-interval must be non-negative")
-	}
-	if *probeInt > 0 && *runtime_ != "event" {
-		fail("-probe-interval hooks the event run loop and needs -runtime event")
-	}
-	if *spansOut != "" && *runtime_ == "centralized" {
-		fail("-trace-spans requires a distributed runtime (event or goroutine)")
-	}
-	switch *spansFmt {
-	case "ndjson", "chrome", "tree":
-	default:
-		fail("unknown -trace-spans-format %q", *spansFmt)
 	}
 	fseed := *faultSd
 	if fseed == 0 {
 		fseed = *seed ^ 0x5fa715ca11edc0de
 	}
-	churnSpec, err := dynamic.ParseChurnSpec(*churnStr)
-	if err != nil {
-		fail("%v", err)
-	}
-	if *repairK < 0 || *shedD < 0 {
-		fail("-repair-rounds and -shed-depth must be non-negative")
-	}
-	if churnSpec.IsZero() && (*repairK > 0 || *shedD > 0) {
-		fail("-repair-rounds and -shed-depth configure the churn engine; they need -churn")
-	}
-	if !churnSpec.IsZero() && (!spec.IsZero() || *reliab || det.Enabled()) {
-		fail("-churn runs the incremental repair engine, not the distributed sim; it is incompatible with -faults/-reliable/-detector")
-	}
 	opts := reportOpts{seed: *seed, runtime: *runtime_, jitter: *jitter,
 		verbose: *verbose, dotPath: *dotOut, tracePath: *traceOut, traceFormat: *traceFmt,
 		spansPath: *spansOut, spansFormat: *spansFmt, probeInterval: *probeInt,
 		showMetrics: *metOut, metricsFormat: *metFmt,
-		faults: spec, faultsSeed: fseed, reliable: *reliab, rto: *rto,
-		adaptiveRTO: *adaptRTO, det: det, workers: *workers,
-		churn: churnSpec, repairRounds: *repairK, shedDepth: *shedD}
-	switch *traceFmt {
-	case "log", "ndjson":
-	default:
-		fail("unknown -traceformat %q", *traceFmt)
-	}
-	switch *metFmt {
-	case "text", "json", "prom":
-	default:
-		fail("unknown -metrics-format %q", *metFmt)
-	}
+		faults: cfg.spec, faultsSeed: fseed, reliable: *reliab, rto: *rto,
+		adaptiveRTO: *adaptRTO, det: cfg.det, workers: *workers,
+		churn: cfg.churn, repairRounds: *repairK, shedDepth: *shedD,
+		sched: cfg.sched}
 
 	if *workload != "" {
 		runWorkloadFile(*workload, opts)
@@ -304,6 +239,7 @@ type reportOpts struct {
 	churn         dynamic.ChurnSpec
 	repairRounds  int
 	shedDepth     int
+	sched         lid.SchedulerSpec
 }
 
 // policy returns the run's fault-injection policy (nil when -faults is
@@ -467,6 +403,11 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 		}
 		if opts.reliable || opts.det.Enabled() {
 			nodes := lid.NewNodes(sys, tbl)
+			if opts.sched.Greedy() {
+				// The admitter watches the LID state machines directly, so
+				// the reliable/detector wrapping stays transparent to it.
+				ropts.Admitter = lid.NewGreedyAdmitter(sys, tbl, nodes, opts.sched)
+			}
 			// The sampler closes over the runner (for the cumulative send
 			// totals), which does not exist until after the options are
 			// final — hence the two-step wiring, mirroring RunEventProbed.
@@ -492,20 +433,21 @@ func runAndReport(sys *pref.System, opts reportOpts) {
 			}
 			result, st = m, s
 		} else if opts.probeInterval > 0 {
-			res, p, err := lid.RunEventProbed(sys, tbl, ropts, opts.probeInterval, probeReg)
+			res, p, err := lid.RunEventProbedScheduled(sys, tbl, ropts, opts.probeInterval, probeReg, opts.sched)
 			if err != nil {
 				fail("run: %v", err)
 			}
 			prober = p
 			result, st = res.Matching, res.Stats
 		} else {
-			res, err := lid.RunEvent(sys, tbl, ropts)
+			res, err := lid.RunEventScheduled(sys, tbl, ropts, opts.sched)
 			if err != nil {
 				fail("run: %v", err)
 			}
 			result, st = res.Matching, res.Stats
 		}
-		fmt.Printf("distributed run (event simulator, jitter %.1f): %v\n", jitter, time.Since(start))
+		fmt.Printf("distributed run (event simulator, jitter %.1f, scheduler %s): %v\n",
+			jitter, opts.sched, time.Since(start))
 		fmt.Printf("  messages: %d total (%d PROP, %d REJ), %.2f per peer, max %d\n",
 			st.TotalSent(), st.SentByKind["PROP"], st.SentByKind["REJ"],
 			float64(st.TotalSent())/float64(g.NumNodes()), st.MaxSentByNode())

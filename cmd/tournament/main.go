@@ -170,9 +170,11 @@ func renderTables(results []tournament.ScenarioResult) []*stats.Table {
 		frac := map[string]string{}
 		for _, c := range r.Cells {
 			frac[c.Algorithm] = fmt.Sprintf("%.4f", c.WeightFrac)
+			// Read through obs.SummaryValue: a missing rung renders as
+			// the NeverConverged sentinel, never as zero.
 			bracket.AddRowf(c.Scenario, c.Algorithm, c.Rank,
 				fmt.Sprintf("%.4f", c.WeightFrac), c.BlockingPairs, c.Unmatched,
-				c.RoundsToEps[obs.EpsKey(0.01)], c.RoundsToEps[obs.EpsKey(0)],
+				obs.SummaryValue(c.RoundsToEps, 0.01), obs.SummaryValue(c.RoundsToEps, 0),
 				c.Msgs, c.Bytes, c.FinalTime)
 		}
 		win := r.Cells[0]

@@ -131,6 +131,11 @@ type EngineOptions struct {
 	// MeasureStability counts blocking edges (O(m)) after every epoch
 	// so records carry Blocking alongside the Deferred bound.
 	MeasureStability bool
+	// DisablePrefixCache turns off the weight-list-prefix cache that
+	// shed epochs reuse across repairs (satisfaction.PrefixCache). The
+	// cache is exact — results are bit-identical either way — so this
+	// exists only for A/B equivalence tests and benchmarks.
+	DisablePrefixCache bool
 	// Obs, when non-nil, receives one "dynamic.repair" span per epoch
 	// and a "dynamic.shed" point per shed decision.
 	Obs *obs.Recorder
@@ -164,6 +169,13 @@ type Engine struct {
 	pending  []Update
 	deferred map[graph.Edge]bool
 
+	// cache is the cross-epoch weight-list-prefix cache shed scans
+	// resume from (nil when opts.DisablePrefixCache). Every matching
+	// removal and every rejoin must invalidate through it — the
+	// invalidation sites are the ones DESIGN.md §13 lists.
+	cache       *satisfaction.PrefixCache
+	lastSkipped int64
+
 	incarnation []uint64
 	epoch       int
 	records     []EpochRecord
@@ -177,6 +189,7 @@ type Engine struct {
 
 	// Metrics instruments (nil when opts.Metrics is nil).
 	mEpochs, mUpdates, mSheds, mRetries *metrics.Counter
+	mPrefixSkip                         *metrics.Counter
 	mLatency, mRegion                   *metrics.Histogram
 	mDeferred, mQueue                   *metrics.Gauge
 }
@@ -200,11 +213,15 @@ func NewEngine(s *pref.System, opts EngineOptions) (*Engine, error) {
 		incarnation: make([]uint64, n),
 		inRegion:    make([]bool, n),
 	}
+	if !opts.DisablePrefixCache {
+		e.cache = satisfaction.NewPrefixCache(s, e.o.tbl)
+	}
 	if reg := opts.Metrics; reg != nil {
 		e.mEpochs = reg.Counter("dynamic_epochs_total", "repair epochs launched")
 		e.mUpdates = reg.Counter("dynamic_updates_total", "updates applied")
 		e.mSheds = reg.Counter("dynamic_sheds_total", "epochs shed to backup placement")
 		e.mRetries = reg.Counter("dynamic_retries_total", "flush collisions with an in-flight epoch")
+		e.mPrefixSkip = reg.Counter("dynamic_prefix_skipped_total", "weight-list entries shed scans resumed past via the prefix cache")
 		e.mLatency = reg.Histogram("dynamic_epoch_latency", "virtual repair latency per epoch",
 			[]float64{1, 2, 4, 8, 16, 32, 64})
 		e.mRegion = reg.Histogram("dynamic_region_size", "repair-region size per epoch",
@@ -402,6 +419,7 @@ func (e *Engine) flush() {
 			freed := e.o.m.Connections(u.Node)
 			for _, v := range freed {
 				e.o.m.Remove(u.Node, v)
+				e.invalidateEdge(u.Node, v)
 				st.Removed++
 			}
 			seeds = append(seeds, freed...)
@@ -411,10 +429,19 @@ func (e *Engine) flush() {
 			}
 			e.o.alive[u.Node] = true
 			e.incarnation[u.Node]++
+			if e.cache != nil {
+				e.cache.InvalidateNode(u.Node)
+			}
 			seeds = append(seeds, u.Node)
 		case UpdateRerank:
 			e.o.s = u.System
 			e.o.tbl = satisfaction.NewTableParallel(u.System, e.opts.Workers)
+			// A new table reorders every weight list: the old cursors
+			// are meaningless, so the cache restarts from scratch.
+			if e.cache != nil {
+				e.cache = satisfaction.NewPrefixCache(u.System, e.o.tbl)
+				e.lastSkipped = 0
+			}
 			for _, x := range u.Dirty {
 				seeds = append(seeds, x)
 				for e.o.m.DegreeOf(x) > u.System.Quota(x) {
@@ -466,6 +493,20 @@ func (e *Engine) flush() {
 		e.mRegion.Observe(float64(rec.Region))
 		e.mDeferred.Set(float64(rec.Deferred))
 		e.mQueue.Set(0)
+		if e.cache != nil {
+			if s := e.cache.SkippedTotal(); s > e.lastSkipped {
+				e.mPrefixSkip.Add(s - e.lastSkipped)
+				e.lastSkipped = s
+			}
+		}
+	}
+}
+
+// invalidateEdge forwards a matching removal to the prefix cache: both
+// endpoints must rescan the edge's weight-list position.
+func (e *Engine) invalidateEdge(u, v graph.NodeID) {
+	if e.cache != nil {
+		e.cache.InvalidateEdge(u, v)
 	}
 }
 
@@ -611,6 +652,7 @@ func (e *Engine) repairBounded(seeds []graph.NodeID, rec *EpochRecord) {
 			for _, d := range drops {
 				if e.o.m.Has(d.U, d.V) { // both endpoints may share the same lightest edge
 					e.o.m.Remove(d.U, d.V)
+					e.invalidateEdge(d.U, d.V)
 					st.Removed++
 					partner := d.V
 					e.mark(partner)
@@ -663,17 +705,36 @@ func (e *Engine) shedRepair(seeds []graph.NodeID, rec *EpochRecord) {
 		if free <= 0 {
 			continue
 		}
+		neigh := e.o.tbl.SortedNeighbors(e.o.s, x)
+		// Resume past the prefix previous epochs proved exhausted. The
+		// cursor may only extend over entries skipped here for a
+		// persistent reason (dead neighbor or matched edge) with no
+		// consumed candidate in between — consumed entries may still be
+		// free next epoch and must be rescanned.
+		start := 0
+		if e.cache != nil {
+			start = e.cache.Start(x)
+		}
+		run, contig := start, true
 		cnt := 0
-		for _, nb := range e.o.tbl.SortedNeighbors(e.o.s, x) {
+		for pos := start; pos < len(neigh); pos++ {
 			if cnt >= free {
 				break
 			}
+			nb := neigh[pos]
 			if !e.o.alive[nb] || e.o.m.Has(x, nb) {
+				if contig {
+					run = pos + 1
+				}
 				continue
 			}
+			contig = false
 			st.Examined++
 			props = append(props, e.o.tbl.Key(x, nb))
 			cnt++
+		}
+		if e.cache != nil {
+			e.cache.Advance(x, run)
 		}
 	}
 	sort.Slice(props, func(i, j int) bool { return props[i].Heavier(props[j]) })

@@ -20,8 +20,8 @@ func quickCfg() Config { return Config{Seed: 12345, Quick: true} }
 
 func TestAllRegistryComplete(t *testing.T) {
 	exps := All()
-	if len(exps) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(exps))
+	if len(exps) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(exps))
 	}
 	for i, e := range exps {
 		want := "E" + strconv.Itoa(i+1)

@@ -39,6 +39,7 @@ func All() []Experiment {
 		{"E17", "Convergence telemetry: rounds vs blocking pairs", E17StabilityCurve},
 		{"E18", "Stability tournament: LID vs Gale-Shapley vs backup placement", E18Tournament},
 		{"E19", "Churn-survival engine: bounded repair under sustained churn", E19ChurnEngine},
+		{"E20", "Greedy admission scheduling: messages and rounds vs canonical", E20GreedyScheduler},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idLess(exps[i].ID, exps[j].ID) })
 	return exps

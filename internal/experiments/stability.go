@@ -105,8 +105,13 @@ func E17StabilityCurve(cfg Config) ([]*stats.Table, error) {
 			curve.AddRowf(topo.name, n, bp[i].T, int64(bp[i].V), int64(unmatched[i].V),
 				frac[i].V, int64(msgs[i].V), int64(bytes[i].V))
 		}
+		// Rungs are read through obs.SummaryValue, never by bare map
+		// index: an absent rung must render as the NeverConverged
+		// sentinel, not as the zero value (instant convergence).
 		s := prober.RoundsToEps(nil)
-		summary.AddRowf(topo.name, n, s["0.100"], s["0.010"], s["0.001"], s["0.000"],
+		summary.AddRowf(topo.name, n,
+			obs.SummaryValue(s, 0.1), obs.SummaryValue(s, 0.01),
+			obs.SummaryValue(s, 0.001), obs.SummaryValue(s, 0),
 			fmt.Sprintf("identical x%d", len(e17Workers)))
 		if topo.name == "gnp" {
 			// The canonical workload's summary feeds the run manifest

@@ -114,7 +114,7 @@ func E18Tournament(cfg Config) ([]*stats.Table, error) {
 			}
 			bracket.AddRowf(c.Scenario, c.Algorithm, c.Rank,
 				fmt.Sprintf("%.4f", c.WeightFrac), c.BlockingPairs, c.Unmatched,
-				c.RoundsToEps[obs.EpsKey(0.01)], c.RoundsToEps[obs.EpsKey(0)],
+				obs.SummaryValue(c.RoundsToEps, 0.01), obs.SummaryValue(c.RoundsToEps, 0),
 				c.Msgs, c.Bytes, c.FinalTime)
 		}
 		if lidCell == nil {

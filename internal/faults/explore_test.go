@@ -48,6 +48,45 @@ func TestExploreSweepFindsNoViolations(t *testing.T) {
 	t.Logf("trials=%d injections=%d", trials, injections)
 }
 
+// TestExploreGreedySchedulerFindsNoViolations reruns the adversarial
+// sweep with the heaviest-frontier admission scheduler threaded into
+// the trial (TrialOptions.Scheduler): every oracle — LID ≡ LIC,
+// validity, termination — must stay green, the proof the scheduler is
+// a pure scheduling win under faults and asynchrony, not just on the
+// clean runs the equivalence corpus covers.
+func TestExploreGreedySchedulerFindsNoViolations(t *testing.T) {
+	perCombo := 120
+	if testing.Short() {
+		perCombo = 20
+	}
+	spec := Spec{Drop: 0.08, Dup: 0.06, Corrupt: 0.04, Delay: 0.12, DelayScale: 5}
+	trials, injections := 0, 0
+	for _, topo := range []string{"gnp", "geometric", "ba"} {
+		w := WorkloadSpec{Topology: topo, Metric: "random", N: 60, B: 2, Seed: 77}
+		sys, err := w.Build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", topo, err)
+		}
+		rep := Explore(ExploreOptions{
+			Spec:     spec,
+			BaseSeed: 9_000_000,
+			Count:    perCombo,
+			Workers:  runtime.GOMAXPROCS(0),
+		}, LIDTrial(sys, TrialOptions{Reliable: true, Scheduler: "greedy"}))
+		if len(rep.Violations) != 0 {
+			v := rep.Violations[0]
+			t.Fatalf("%s: %d violations under greedy scheduling; first: seed=%d err=%q events=%d",
+				topo, len(rep.Violations), v.Seed, v.Err, len(v.Events))
+		}
+		trials += rep.Trials
+		injections += rep.Injections
+	}
+	if injections == 0 {
+		t.Fatal("sweep injected nothing — the adversary is disconnected")
+	}
+	t.Logf("greedy trials=%d injections=%d", trials, injections)
+}
+
 // TestExploreCatchesBrokenProtocol is the negative control the
 // acceptance criteria demand: an intentionally broken configuration —
 // bare LID with message duplication, which violates the paper's

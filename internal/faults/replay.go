@@ -143,6 +143,13 @@ type TrialOptions struct {
 	// MaxDeliveries guards against non-termination; 0 derives a bound
 	// from the instance size (the non-termination invariant).
 	MaxDeliveries int
+	// Scheduler selects the admission scheduling of the proposal loop,
+	// in lid.ParseSchedulerSpec's grammar ("" = canonical). Scheduling
+	// must never change the outcome, so every oracle — LID ≡ LIC,
+	// validity, termination — runs unchanged under "greedy"; sweeping
+	// Explore with it is the proof the scheduler is a pure scheduling
+	// win, not an approximation.
+	Scheduler string
 }
 
 func (o TrialOptions) rto() float64 {
@@ -262,6 +269,10 @@ func abandonedByPeer(eps []*reliable.Endpoint) map[int]int {
 // transport endpoints (nil when bare) and stats. Runner failures come
 // back as runError; structural violations as plain errors.
 func runLID(sys *pref.System, tbl *satisfaction.Table, seed uint64, inj *Injector, opts TrialOptions) (*matching.Matching, []*reliable.Endpoint, simnet.Stats, error) {
+	sched, err := lid.ParseSchedulerSpec(opts.Scheduler)
+	if err != nil {
+		return nil, nil, simnet.Stats{}, runError{err}
+	}
 	nodes := lid.NewNodes(sys, tbl)
 	handlers := lid.Handlers(nodes)
 	var eps []*reliable.Endpoint
@@ -269,7 +280,7 @@ func runLID(sys *pref.System, tbl *satisfaction.Table, seed uint64, inj *Injecto
 		eps = reliable.Wrap(handlers, opts.rto(), opts.MaxRetries)
 		handlers = reliable.Handlers(eps)
 	}
-	runner := simnet.NewRunner(sys.Graph().NumNodes(), simnet.Options{
+	simOpts := simnet.Options{
 		Seed:          seed,
 		Latency:       simnet.ExponentialLatency(opts.jitter()),
 		Policy:        inj,
@@ -278,7 +289,14 @@ func runLID(sys *pref.System, tbl *satisfaction.Table, seed uint64, inj *Injecto
 		// nodes starved of answers idle rather than halt, and the run
 		// ends when the event queue drains.
 		Quiesce: opts.MaxRetries > 0,
-	})
+	}
+	if sched.Greedy() {
+		// The admitter watches the LID state machines directly; the
+		// reliable wrapping is transparent to it (endpoints are safe
+		// to receive through before their own deferred Init).
+		simOpts.Admitter = lid.NewGreedyAdmitter(sys, tbl, nodes, sched)
+	}
+	runner := simnet.NewRunner(sys.Graph().NumNodes(), simOpts)
 	stats, err := runner.Run(handlers)
 	if err != nil {
 		return nil, eps, stats, runError{fmt.Errorf("faults: run: %w", err)}
@@ -308,6 +326,8 @@ type ReplayFile struct {
 	Jitter   float64 `json:"jitter,omitempty"`
 	// MaxRetries freezes the transport's retry budget (0 = unbounded).
 	MaxRetries int `json:"max_retries,omitempty"`
+	// Scheduler freezes the admission scheduler spec ("" = canonical).
+	Scheduler string `json:"scheduler,omitempty"`
 	// Err is the violation the run reproduced when it was recorded.
 	Err string `json:"err,omitempty"`
 	// Events is the (minimized) injection schedule.
@@ -336,6 +356,9 @@ func (f *ReplayFile) Validate() error {
 	}
 	if f.MaxRetries < 0 || f.MaxRetries > 1<<20 {
 		return fmt.Errorf("faults: max_retries=%d invalid", f.MaxRetries)
+	}
+	if _, err := lid.ParseSchedulerSpec(f.Scheduler); err != nil {
+		return err
 	}
 	if len(f.Events) > 1<<22 {
 		return fmt.Errorf("faults: %d events exceed the sanity cap", len(f.Events))
@@ -403,7 +426,7 @@ func (f *ReplayFile) Run() (ReplayOutcome, error) {
 	if err != nil {
 		return ReplayOutcome{}, err
 	}
-	trial := LIDTrial(sys, TrialOptions{Reliable: f.Reliable, RTO: f.RTO, Jitter: f.Jitter, MaxRetries: f.MaxRetries})
+	trial := LIDTrial(sys, TrialOptions{Reliable: f.Reliable, RTO: f.RTO, Jitter: f.Jitter, MaxRetries: f.MaxRetries, Scheduler: f.Scheduler})
 	verr := runTrial(trial, f.Seed, NewReplayInjector(spec, f.Events))
 	out := ReplayOutcome{}
 	if verr != nil {

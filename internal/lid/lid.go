@@ -167,8 +167,18 @@ func Handlers(nodes []*Node) []simnet.Handler {
 
 // Init implements simnet.Handler: propose to the top min(bi, |Γi|)
 // eligible neighbors of the weight list (Algorithm 1, lines 1–3).
-// Pre-resolved (excluded) entries are skipped.
+// Pre-resolved (excluded) entries are skipped. Under deferred admission
+// (simnet.Admitter) Init may run after messages have already arrived,
+// so entries can be approached (answer with the completing PROP and
+// lock, as proposeNext does) or resolved (skip) — at time-0 admission
+// both cases are unreachable and the loop degenerates to lines 1–3.
 func (n *Node) Init(ctx simnet.Context) {
+	if n.halted {
+		// Deferred admission only: every neighbor resolved us (REJ
+		// broadcasts) before we were released, and checkDone already
+		// terminated the node from a delivery context.
+		return
+	}
 	// Telemetry: the proposal wave spans the node's whole convergence
 	// arc, Init to local termination. The rec != nil guard keeps the
 	// detail formatting off the disabled path.
@@ -179,12 +189,23 @@ func (n *Node) Init(ctx simnet.Context) {
 		pos := n.cursor
 		v := n.order[pos]
 		n.cursor++
-		if n.state[pos] != stUntouched {
-			continue // pre-resolved by NewNodeRestricted
+		switch n.state[pos] {
+		case stUntouched:
+			n.state[pos] = stProposed
+			n.pending++
+			ctx.Send(v, propMsg)
+		case stApproached:
+			// The neighbor proposed while we were unadmitted: our PROP
+			// completes the mutual pair. Locking keeps pending+locked
+			// bounded by the loop condition, so the quota-full REJ
+			// broadcast inside lock stays sound (pending is provably 0
+			// when the quota fills here, as in proposeNext).
+			ctx.Send(v, propMsg)
+			n.lock(ctx, v, int32(pos), false)
+		default:
+			// Pre-resolved by NewNodeRestricted, or resolved by a REJ
+			// that arrived before admission.
 		}
-		n.state[pos] = stProposed
-		n.pending++
-		ctx.Send(v, propMsg)
 	}
 	if n.quota == 0 {
 		// Quota full from the start (possible for restricted residual
@@ -331,7 +352,9 @@ func (n *Node) broadcastRejects(ctx simnet.Context) {
 func (n *Node) checkDone(ctx simnet.Context) {
 	if n.unresolved == 0 && !n.halted {
 		n.halted = true
-		if rec := simnet.ObserverOf(ctx); rec != nil {
+		// wave == 0 means the node halted before it was ever admitted
+		// (deferred admission): there is no open span to close.
+		if rec := simnet.ObserverOf(ctx); rec != nil && n.wave != 0 {
 			rec.CloseSpan(n.id, n.wave, fmt.Sprintf("locked=%d", len(n.locked)), ctx.Time())
 		}
 		ctx.Halt()

@@ -25,7 +25,19 @@ type Result struct {
 // failure (non-termination or asymmetric locks), which Lemma 5 and the
 // mutual-PROP argument exclude — tests treat an error as a bug.
 func RunEvent(s *pref.System, tbl *satisfaction.Table, opts simnet.Options) (Result, error) {
+	return RunEventScheduled(s, tbl, opts, SchedulerSpec{})
+}
+
+// RunEventScheduled is RunEvent with an admission scheduler: a greedy
+// spec installs the heaviest-frontier GreedyAdmitter (see scheduler.go)
+// as the runner's Admitter; the zero/canonical spec is RunEvent
+// verbatim. The matching is the same LIC either way — the scheduler
+// only changes message and round counts.
+func RunEventScheduled(s *pref.System, tbl *satisfaction.Table, opts simnet.Options, spec SchedulerSpec) (Result, error) {
 	nodes := NewNodes(s, tbl)
+	if spec.Greedy() {
+		opts.Admitter = NewGreedyAdmitter(s, tbl, nodes, spec)
+	}
 	runner := simnet.NewRunner(s.Graph().NumNodes(), opts)
 	stats, err := runner.Run(Handlers(nodes))
 	if err != nil {
@@ -44,6 +56,12 @@ func RunEvent(s *pref.System, tbl *satisfaction.Table, opts simnet.Options) (Res
 // (Prober.RoundsToEps). Probing reads protocol state only — the run
 // itself is bit-identical to an unprobed RunEvent.
 func RunEventProbed(s *pref.System, tbl *satisfaction.Table, opts simnet.Options, interval float64, reg *metrics.Registry) (Result, *obs.Prober, error) {
+	return RunEventProbedScheduled(s, tbl, opts, interval, reg, SchedulerSpec{})
+}
+
+// RunEventProbedScheduled is RunEventProbed with an admission
+// scheduler (see RunEventScheduled).
+func RunEventProbedScheduled(s *pref.System, tbl *satisfaction.Table, opts simnet.Options, interval float64, reg *metrics.Registry, spec SchedulerSpec) (Result, *obs.Prober, error) {
 	nodes := NewNodes(s, tbl)
 	g := s.Graph()
 	optimum := matching.LIC(s, tbl).Weight(s)
@@ -54,12 +72,20 @@ func RunEventProbed(s *pref.System, tbl *satisfaction.Table, opts simnet.Options
 	prober := obs.NewProber(reg, interval, g.NumEdges(), optimum, sampler)
 	opts.Probe = prober.Probe
 	opts.ProbeInterval = interval
+	if spec.Greedy() {
+		opts.Admitter = NewGreedyAdmitter(s, tbl, nodes, spec)
+	}
 	runner = simnet.NewRunner(g.NumNodes(), opts)
 	stats, err := runner.Run(Handlers(nodes))
+	// The summary is published even when the run errored out (budget
+	// exhausted, non-termination): rungs the curve never reached carry
+	// the obs.NeverConverged sentinel, so a non-convergent run leaves
+	// an explicit -1 gauge rather than an absent one — consumers must
+	// not conflate "missing" with "converged instantly".
+	prober.PublishSummary(reg, nil)
 	if err != nil {
 		return Result{Stats: stats}, prober, err
 	}
-	prober.PublishSummary(reg, nil)
 	res, err := finish(nodes, stats, opts.Metrics)
 	return res, prober, err
 }

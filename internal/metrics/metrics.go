@@ -362,14 +362,21 @@ func (r *Registry) Counter(name, help string) *Counter {
 
 // Gauge returns the named gauge, creating it on first use.
 func (r *Registry) Gauge(name, help string) *Gauge {
+	g, _ := r.gauge(name, help)
+	return g
+}
+
+// gauge is Gauge plus a created flag — Merge needs to distinguish a
+// gauge it is creating from one that already carries a value.
+func (r *Registry) gauge(name, help string) (*Gauge, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if e, ok := r.lookup(name, help, KindGauge); ok {
-		return e.inst.(*Gauge)
+		return e.inst.(*Gauge), false
 	}
 	g := &Gauge{}
 	r.entries[name] = &entry{kind: KindGauge, help: help, inst: g}
-	return g
+	return g, true
 }
 
 // Histogram returns the named histogram, creating it with the given
@@ -471,9 +478,11 @@ func (r *Registry) names() []string {
 }
 
 // Merge folds a snapshot into this registry: counters and histogram
-// buckets add, families add per label value, gauges take the maximum
-// (every gauge in this codebase is a high-water mark or a final time,
-// for which max is the meaningful cross-run aggregate). Vector
+// buckets add, families add per label value, gauges adopt the incoming
+// value on first merge and take the maximum afterwards (every gauge in
+// this codebase is a high-water mark or a final time, for which max is
+// the meaningful cross-run aggregate — but maxing against a fresh zero
+// gauge would destroy negative sentinel values). Vector
 // samples are NOT merged — a vector is a per-run, per-node-count
 // artifact; its totals already flow through the corresponding
 // counters. Merge is how a shared suite-level registry aggregates many
@@ -484,7 +493,17 @@ func (r *Registry) Merge(s Snapshot) {
 		case KindCounter:
 			r.Counter(smp.Name, smp.Help).Add(smp.Count)
 		case KindGauge:
-			r.Gauge(smp.Name, smp.Help).SetMax(smp.Value)
+			// A gauge Merge itself creates adopts the incoming value
+			// verbatim: SetMax against the fresh zero value would
+			// silently erase negative sentinels (a never-converged
+			// stability rung of -1 would merge into the sink as 0,
+			// reading as instant convergence). Established gauges keep
+			// the high-water semantics.
+			if g, created := r.gauge(smp.Name, smp.Help); created {
+				g.Set(smp.Value)
+			} else {
+				g.SetMax(smp.Value)
+			}
 		case KindHistogram:
 			h := r.Histogram(smp.Name, smp.Help, smp.Bounds)
 			for i, c := range smp.BucketCounts {

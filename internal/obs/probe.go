@@ -33,6 +33,25 @@ type StabilitySample struct {
 // stability at ε = 0.
 var Epsilons = []float64{0.1, 0.01, 0.001, 0}
 
+// NeverConverged is the sentinel value of a rounds-to-ε rung the run
+// never reached within its probe budget. It is a real published gauge
+// value — a non-convergent run writes stability_rounds_to_eps_* = -1
+// rather than leaving the gauge absent (see DESIGN.md §9) — and the
+// value SummaryValue reports for a rung missing from a summary map, so
+// consumers cannot conflate "never" with "converged at round 0".
+const NeverConverged = -1.0
+
+// SummaryValue reads one ε rung from a RoundsToEps summary map,
+// returning NeverConverged when the rung is absent. Table-rendering
+// consumers must use this (not a bare map index, whose zero value
+// reads as instant convergence).
+func SummaryValue(m map[string]float64, eps float64) float64 {
+	if v, ok := m[EpsKey(eps)]; ok {
+		return v
+	}
+	return NeverConverged
+}
+
 // Prober samples a stability sampler on a fixed virtual-time interval
 // and appends the results to metrics.Series instruments in a registry.
 // Plug Probe into simnet.Options.Probe / simnet.Options.ProbeInterval.
@@ -125,7 +144,7 @@ func (p *Prober) RoundsToEps(eps []float64) map[string]float64 {
 	out := make(map[string]float64, len(eps))
 	for _, e := range eps {
 		threshold := e * float64(p.edges)
-		t := -1.0
+		t := NeverConverged
 		for _, pt := range points {
 			if pt.V <= threshold {
 				t = pt.T

@@ -1,0 +1,121 @@
+package satisfaction
+
+import (
+	"fmt"
+
+	"overlaymatch/internal/graph"
+	"overlaymatch/internal/pref"
+)
+
+// PrefixCache remembers, per node, how much of the node's weight list
+// is exhausted — every entry before the cursor was, when last scanned,
+// unusable for a persistent reason (the neighbor was down, or the edge
+// was already matched). Repair loops that repeatedly walk weight lists
+// from the heavy end (dynamic.Engine's shed epochs, most visibly) use
+// it to resume each scan where the previous epoch stopped finding new
+// candidates, instead of re-skipping the same heavy prefix every time.
+//
+// The contract has two sides:
+//
+//   - The scanner advances the cursor (Advance) only past a contiguous
+//     prefix of entries it skipped for a persistent reason. Entries it
+//     consumed as candidates — or skipped for a transient reason — end
+//     the advance; they must be revisited next scan.
+//   - The mutator invalidates (InvalidateEdge / InvalidateNode) at
+//     every point a persistent reason stops holding: an unmatch rewinds
+//     both endpoints to the edge's list positions, a node coming back
+//     up rewinds every neighbor to that node's position. A new weight
+//     table invalidates everything (build a fresh cache).
+//
+// Under that contract the cache is exact: a cached scan visits exactly
+// the candidates a from-zero scan would, so consumers stay
+// bit-identical to their uncached form. The invalidation rules are
+// spelled out in DESIGN.md §13.
+type PrefixCache struct {
+	s   *pref.System
+	tbl *Table
+	cur []int32
+	// active flips on the first Advance that actually grows a cursor.
+	// While every cursor is still 0 a rewind cannot move anything, so
+	// the Invalidate methods return before touching the table's sorted
+	// index — consumers that never scan (an engine that never sheds)
+	// must not pay the weight-list materialization just for
+	// invalidation bookkeeping.
+	active bool
+	// skipped accumulates the entries Start let scanners not revisit —
+	// the cache's value, observable by tests and telemetry.
+	skipped int64
+}
+
+// NewPrefixCache returns an empty cache (every cursor at 0) over the
+// given system and table. The cache is only meaningful for that exact
+// table: rebuild the cache whenever the table is rebuilt.
+func NewPrefixCache(s *pref.System, tbl *Table) *PrefixCache {
+	return &PrefixCache{
+		s:   s,
+		tbl: tbl,
+		cur: make([]int32, s.Graph().NumNodes()),
+	}
+}
+
+// Start returns the weight-list position node u's scan may resume from:
+// every earlier entry is exhausted under the cache contract.
+func (c *PrefixCache) Start(u graph.NodeID) int {
+	start := int(c.cur[u])
+	c.skipped += int64(start)
+	return start
+}
+
+// Advance extends u's exhausted prefix to end at pos (exclusive). The
+// scanner must have verified entries Start(u)..pos-1 exhausted in the
+// scan that just finished; the cursor never moves backward here.
+func (c *PrefixCache) Advance(u graph.NodeID, pos int) {
+	if pos > int(c.tbl.g.Degree(u)) {
+		panic(fmt.Sprintf("satisfaction: prefix cursor %d beyond degree %d of node %d",
+			pos, c.tbl.g.Degree(u), u))
+	}
+	if int32(pos) > c.cur[u] {
+		c.cur[u] = int32(pos)
+		c.active = true
+	}
+}
+
+// InvalidateEdge rewinds both endpoints of edge {u,v} to the edge's
+// weight-list positions: call it when the edge leaves the matching, so
+// both nodes rescan it. It panics if u and v are not neighbors.
+func (c *PrefixCache) InvalidateEdge(u, v graph.NodeID) {
+	if !c.active {
+		return
+	}
+	c.rewind(u, c.tbl.SortedIndex(c.s, u, v))
+	c.rewind(v, c.tbl.SortedIndex(c.s, v, u))
+}
+
+// InvalidateNode handles node u becoming usable again (a rejoin): every
+// neighbor's cursor rewinds to u's position in that neighbor's list,
+// and u's own cursor resets — u's world may have changed arbitrarily
+// while it was down.
+func (c *PrefixCache) InvalidateNode(u graph.NodeID) {
+	if !c.active {
+		return
+	}
+	c.cur[u] = 0
+	for _, w := range c.tbl.g.Neighbors(u) {
+		c.rewind(w, c.tbl.SortedIndex(c.s, w, u))
+	}
+}
+
+// InvalidateAll resets every cursor.
+func (c *PrefixCache) InvalidateAll() {
+	clear(c.cur)
+}
+
+func (c *PrefixCache) rewind(u graph.NodeID, pos int32) {
+	if pos < c.cur[u] {
+		c.cur[u] = pos
+	}
+}
+
+// SkippedTotal returns the cumulative number of list entries Start has
+// saved scanners from revisiting.
+func (c *PrefixCache) SkippedTotal() int64 { return c.skipped }

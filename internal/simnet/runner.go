@@ -41,6 +41,19 @@ func UniformLatency(lo, hi float64) LatencyFunc {
 // Timers are never dropped.
 type DropFunc func(from, to int, src *rng.Source) bool
 
+// Admitter schedules node initialization in batches instead of the
+// default all-at-time-0 sweep. The Runner calls NextBatch once before
+// any delivery (the batch is initialized at time 0, in the returned
+// order) and again every time the event queue drains (initialized at
+// the virtual time of the last delivery); the run ends when the queue
+// is empty and NextBatch returns an empty batch. Un-admitted nodes
+// never received Init, so the usual deadlock check applies to them
+// unless the admitter guarantees full coverage. Package lid provides
+// the heaviest-frontier implementation (greedy admission scheduling).
+type Admitter interface {
+	NextBatch() []int
+}
+
 // UniformDrop loses every message independently with probability p.
 func UniformDrop(p float64) DropFunc {
 	if p < 0 || p >= 1 {
@@ -96,6 +109,10 @@ type Options struct {
 	// observe protocol state but must not mutate it.
 	Probe         func(t float64)
 	ProbeInterval float64
+	// Admitter, if non-nil, batches node initialization: only released
+	// nodes run Init, and further batches are released whenever the
+	// event queue drains. nil keeps the canonical all-at-time-0 sweep.
+	Admitter Admitter
 }
 
 // Runner is the deterministic discrete-event simulator. Its counters
@@ -290,8 +307,38 @@ func (r *Runner) Run(handlers []Handler) (Stats, error) {
 		return r.ins.stats(), fmt.Errorf("simnet: Runner is single-use")
 	}
 	r.running = true
-	for id := 0; id < r.n; id++ {
-		handlers[id].Init(&runnerCtx{r: r, id: id, time: 0})
+	// admit releases one admitter batch at virtual time t. Batches are
+	// initialized in the returned order; double or out-of-range release
+	// is an admitter bug and fails the run.
+	var inited []bool
+	var batches *metrics.Counter
+	admit := func(t float64) (int, error) {
+		batch := r.opts.Admitter.NextBatch()
+		for _, id := range batch {
+			if id < 0 || id >= r.n {
+				return 0, fmt.Errorf("simnet: admitter released node %d outside [0,%d)", id, r.n)
+			}
+			if inited[id] {
+				return 0, fmt.Errorf("simnet: admitter released node %d twice", id)
+			}
+			inited[id] = true
+			handlers[id].Init(&runnerCtx{r: r, id: id, time: t})
+		}
+		if len(batch) > 0 {
+			batches.Inc()
+		}
+		return len(batch), nil
+	}
+	if r.opts.Admitter != nil {
+		inited = make([]bool, r.n)
+		batches = r.ins.reg.Counter("simnet_admission_batches_total", "admission batches released by Options.Admitter")
+		if _, err := admit(0); err != nil {
+			return r.ins.stats(), err
+		}
+	} else {
+		for id := 0; id < r.n; id++ {
+			handlers[id].Init(&runnerCtx{r: r, id: id, time: 0})
+		}
 	}
 	// ctx is reused across deliveries: Contexts are documented as only
 	// valid for the duration of the handler call, and reusing the one
@@ -309,36 +356,53 @@ func (r *Runner) Run(handlers []Handler) (Stats, error) {
 	// accumulated error.
 	probeTick := 0
 	nextProbe := func() float64 { return float64(probeTick) * r.opts.ProbeInterval }
-	for len(r.queue) > 0 {
-		e := r.queue.pop()
-		if r.opts.MaxDeliveries > 0 && delivered >= r.opts.MaxDeliveries {
-			return r.ins.stats(), fmt.Errorf("simnet: exceeded %d deliveries", r.opts.MaxDeliveries)
-		}
-		delivered++
-		if probing {
-			// A probe at t fires once every event strictly before t is
-			// processed: with unit latency, probe k reports the state
-			// after round k.
-			for nextProbe() < e.time {
-				r.opts.Probe(nextProbe())
-				probeTick++
+	lastTime := 0.0
+	for {
+		for len(r.queue) > 0 {
+			e := r.queue.pop()
+			if r.opts.MaxDeliveries > 0 && delivered >= r.opts.MaxDeliveries {
+				return r.ins.stats(), fmt.Errorf("simnet: exceeded %d deliveries", r.opts.MaxDeliveries)
 			}
-		}
-		if e.timer {
-			r.ins.timersFired.Inc()
-		} else {
-			r.ins.deliveries.Inc()
-			r.ins.receivedByNode.Inc(e.to)
-			if r.opts.Obs != nil {
-				r.opts.Obs.Deliver(e.to, e.from, KindOf(e.msg), e.time, e.lam)
+			delivered++
+			if probing {
+				// A probe at t fires once every event strictly before t is
+				// processed: with unit latency, probe k reports the state
+				// after round k.
+				for nextProbe() < e.time {
+					r.opts.Probe(nextProbe())
+					probeTick++
+				}
 			}
+			if e.timer {
+				r.ins.timersFired.Inc()
+			} else {
+				r.ins.deliveries.Inc()
+				r.ins.receivedByNode.Inc(e.to)
+				if r.opts.Obs != nil {
+					r.opts.Obs.Deliver(e.to, e.from, KindOf(e.msg), e.time, e.lam)
+				}
+			}
+			r.ins.finalTime.SetMax(e.time)
+			lastTime = e.time
+			if r.opts.Trace != nil {
+				r.opts.Trace(TraceEntry{Time: e.time, From: e.from, To: e.to, Msg: e.msg})
+			}
+			ctx.id, ctx.time = e.to, e.time
+			handlers[e.to].HandleMessage(ctx, e.from, e.msg)
 		}
-		r.ins.finalTime.SetMax(e.time)
-		if r.opts.Trace != nil {
-			r.opts.Trace(TraceEntry{Time: e.time, From: e.from, To: e.to, Msg: e.msg})
+		if r.opts.Admitter == nil {
+			break
 		}
-		ctx.id, ctx.time = e.to, e.time
-		handlers[e.to].HandleMessage(ctx, e.from, e.msg)
+		// Queue drained: release the next admission batch at the time
+		// of the last delivery (keeping virtual time monotone). The run
+		// ends when the admitter is exhausted too.
+		k, err := admit(lastTime)
+		if err != nil {
+			return r.ins.stats(), err
+		}
+		if k == 0 {
+			break
+		}
 	}
 	if probing {
 		// Final sample at the next round boundary: the end state of the
